@@ -1,0 +1,31 @@
+// Ablation — relay emission policy (DESIGN.md data-plane refinement).
+//
+// The paper's relay "generates an encoded packet immediately after it
+// receives a packet" (Sec. III.B.2). On paths with different delays, a
+// merge relay's early arrivals all come from the faster path, so strict
+// per-arrival emission sends packets confined to that path's subspace —
+// useless to the receiver that already holds it. Our data plane defers an
+// earned emission until the generation reaches full rank (or a hold
+// timeout). This bench quantifies that choice on the butterfly, sweeping
+// the hold timeout; hold = 0 is the strict per-arrival policy.
+#include "common.hpp"
+
+int main() {
+  using namespace ncfn;
+  using namespace ncfn::bench;
+  print_header("Ablation", "Relay emission: strict pipeline vs rank-hold");
+  std::printf("%14s %18s %12s\n", "hold (ms)", "throughput(Mbps)", "repairs");
+
+  for (const double hold_ms : {0.0, 5.0, 20.0, 50.0, 100.0}) {
+    ButterflyRunConfig cfg;
+    cfg.recode_hold_s = hold_ms / 1e3;
+    cfg.duration_s = 3.0;
+    const auto r = run_nc_butterfly(cfg);
+    std::printf("%14.0f %18.2f %12llu\n", hold_ms, r.goodput_mbps,
+                static_cast<unsigned long long>(r.repair_requests));
+  }
+  std::printf("\nstrict per-arrival emission (hold=0) starves the "
+              "later-arriving path's\nreceiver on skewed paths; a ~1 "
+              "generation-time hold recovers the coding gain\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation — generation-granular plan quantization (ctrl::quantize_plan,
+// DESIGN.md refinement #8).
+//
+// Two sessions share the butterfly (a 40 Mbps-capped multicast plus a
+// 20 Mbps-capped unicast). The joint fluid optimum assigns session 1
+// fractional per-generation packet counts on the shared edges; run raw,
+// a large fraction of generations stall on integer shortfalls and limp
+// through the repair loop. Quantization trades planned rate (40 -> 30
+// Mbps here) for a stall-free data plane and strictly higher goodput.
+#include "app/provider.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace ncfn;
+
+struct RunResult {
+  double planned[2];
+  double goodput[2];
+  std::uint64_t repairs;
+};
+
+RunResult run(bool quantize) {
+  const auto b = app::scenarios::butterfly(false);
+  ctrl::SessionSpec s1 = bench::butterfly_session(b);
+  s1.max_rate_mbps = 40.0;
+  ctrl::SessionSpec s2;
+  s2.id = 2;
+  s2.source = b.source;
+  s2.receivers = {b.recv_c2};
+  s2.lmax_s = 0.150;
+  s2.max_rate_mbps = 20.0;
+  ctrl::DeploymentProblem prob;
+  prob.topo = &b.topo;
+  prob.alpha = 0.0;
+  prob.sessions = {s1, s2};
+  const auto plan = ctrl::solve_deployment(prob);
+
+  coding::CodingParams params;
+  app::SyntheticProvider d1(41, static_cast<std::size_t>(40e6 / 8 * 10),
+                            params);
+  app::SyntheticProvider d2(42, static_cast<std::size_t>(25e6 / 8 * 10),
+                            params);
+  app::SimNet sim(b.topo);
+  app::SessionWiring w1, w2;
+  w1.vnf.params = w2.vnf.params = params;
+  w1.quantize = w2.quantize = quantize;
+  w2.seed = 1234;
+  app::NcMulticastSession mc1(sim, plan, 0, s1, d1, w1);
+  app::NcMulticastSession mc2(sim, plan, 1, s2, d2, w2);
+  mc1.start();
+  mc2.start();
+  sim.net().sim().run_until(4.0);
+
+  RunResult r{};
+  r.planned[0] = plan.lambda_mbps[0];
+  r.planned[1] = plan.lambda_mbps[1];
+  r.goodput[0] = mc1.session_goodput_mbps();
+  r.goodput[1] = mc2.session_goodput_mbps();
+  r.repairs = mc1.receiver(0).stats().repair_requests_sent +
+              mc1.receiver(1).stats().repair_requests_sent +
+              mc2.receiver(0).stats().repair_requests_sent;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ncfn::bench;
+  print_header("Ablation",
+               "Plan quantization: fluid LP flows vs whole packets/generation");
+  std::printf("%14s %12s %12s %12s %10s\n", "", "planned s1", "goodput s1",
+              "goodput s2", "repairs");
+  const auto raw = run(false);
+  std::printf("%14s %9.1f Mbps %9.1f Mbps %9.1f Mbps %10llu\n", "raw plan",
+              raw.planned[0], raw.goodput[0], raw.goodput[1],
+              static_cast<unsigned long long>(raw.repairs));
+  const auto q = run(true);
+  std::printf("%14s %9.1f Mbps %9.1f Mbps %9.1f Mbps %10llu\n", "quantized",
+              q.planned[0], q.goodput[0], q.goodput[1],
+              static_cast<unsigned long long>(q.repairs));
+  std::printf("\nquantization gives up planned rate to eliminate "
+              "per-generation integer shortfalls;\nthe raw plan's extra "
+              "10 Mbps exists only on paper\n");
+  return 0;
+}

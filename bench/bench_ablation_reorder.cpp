@@ -1,0 +1,78 @@
+// Ablation — reordering tolerance (Sec. III.B.1's rationale for UDP:
+// "our system is not concerned with out-of-order packets or the loss of a
+// single encoded packet").
+//
+// Add per-packet jitter (and therefore reordering) to every butterfly
+// link and compare: the coded data plane is indifferent — any sufficient
+// set of packets decodes a generation — while cumulative-ACK TCP on the
+// direct path misreads reordering as loss (duplicate ACKs -> spurious
+// fast retransmits and window cuts).
+#include "common.hpp"
+#include "netsim/tcp.hpp"
+
+namespace {
+
+using namespace ncfn;
+
+double run_nc_with_jitter(double jitter_ms) {
+  const auto b = app::scenarios::butterfly(false);
+  const auto plan = bench::plan_butterfly(b);
+  coding::CodingParams params;
+  app::SyntheticProvider provider(7, static_cast<std::size_t>(80e6 / 8 * 8),
+                                  params);
+  app::SimNet sim(b.topo);
+  for (int e = 0; e < b.topo.edge_count(); ++e) {
+    sim.link(e)->set_jitter(jitter_ms / 1e3);
+  }
+  app::SessionWiring wiring;
+  wiring.vnf.params = params;
+  app::NcMulticastSession session(sim, plan, 0, bench::butterfly_session(b),
+                                  provider, wiring);
+  session.start();
+  sim.net().sim().run_until(4.0);
+  return session.session_goodput_mbps();
+}
+
+struct TcpResult {
+  double goodput_mbps;
+  std::uint64_t spurious_retx;
+};
+
+TcpResult run_tcp_with_jitter(double jitter_ms) {
+  const auto b = app::scenarios::butterfly(true);
+  app::SimNet sim(b.topo);
+  sim.link(b.direct_o2)->set_jitter(jitter_ms / 1e3);
+  const std::size_t bytes = 12 * 1000 * 1000;
+  netsim::TcpConfig cfg;
+  cfg.initial_ssthresh = 256;
+  netsim::TcpTransfer tcp(sim.net(), sim.node(b.source),
+                          sim.node(b.recv_o2), 5000, bytes, cfg);
+  tcp.start();
+  sim.net().sim().run_until(60.0);
+  TcpResult r{};
+  r.goodput_mbps = tcp.finished() ? tcp.stats().goodput_bps(bytes) / 1e6
+                                  : tcp.bytes_acked() * 8.0 / 60.0 / 1e6;
+  // With no genuine loss, every retransmission is jitter-induced.
+  r.spurious_retx = tcp.stats().retransmissions;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ncfn::bench;
+  print_header("Ablation",
+               "Reordering (path jitter): coded UDP data plane vs direct TCP");
+  std::printf("%12s %14s %18s %14s\n", "jitter(ms)", "NC (Mbps)",
+              "TCP direct (Mbps)", "spurious retx");
+  for (const double j : {0.0, 1.0, 3.0, 10.0}) {
+    const double nc = run_nc_with_jitter(j);
+    const auto tcp = run_tcp_with_jitter(j);
+    std::printf("%12.0f %14.2f %18.2f %14llu\n", j, nc, tcp.goodput_mbps,
+                static_cast<unsigned long long>(tcp.spurious_retx));
+  }
+  std::printf("\nreordering is invisible to the generation decoder; TCP "
+              "misreads it as loss —\nthe paper's rationale for running the "
+              "coding layer over UDP (Sec. III.B.1)\n");
+  return 0;
+}

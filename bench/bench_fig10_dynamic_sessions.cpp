@@ -1,0 +1,88 @@
+// Fig. 10 — "Total multicast throughput and total # of VNFs over time."
+//
+// The paper's dynamic scenario: start with three multicast sessions, add
+// one every 10 minutes until six are running, then remove one every 10
+// minutes back down to three. Then one receiver joins an existing session
+// at minutes 70/80/90 and one leaves at 100/110/120. Sources/receivers
+// are uniform over the six North-American data centers, each session has
+// 1-4 receivers, alpha = 20, Lmax = 150 ms, tau = tau1 = tau2 = 10 min.
+//
+// Expected shape: throughput and VNF count rise for the first 30 minutes,
+// the VNF count plateaus briefly (tau-delayed scale-in + reuse), then both
+// fall; receiver churn barely moves total throughput (a joining/leaving
+// receiver only matters if it is the session's bottleneck).
+#include <random>
+
+#include "common.hpp"
+#include "ctrl/controller.hpp"
+
+int main() {
+  using namespace ncfn;
+  using namespace ncfn::bench;
+  print_header("Fig. 10", "Throughput & #VNFs under session/receiver churn");
+  std::printf("paper: rises ~30 min, VNFs plateau ~10 min, then decline;\n");
+  std::printf("       stable throughput during receiver churn at 70-120 min\n\n");
+
+  const auto net = app::scenarios::six_datacenters();
+  ctrl::Controller::Config cfg;
+  cfg.alpha = 20.0;
+  cfg.tau_s = cfg.tau1_s = cfg.tau2_s = 600.0;
+  ctrl::Controller ctl(net.topo, cfg);
+
+  std::mt19937 rng(42);
+  std::set<graph::NodeIdx> used_hosts;  // each endpoint is its own VM
+  std::vector<ctrl::SessionSpec> pool;
+  for (coding::SessionId id = 1; id <= 6; ++id) {
+    pool.push_back(
+        app::scenarios::random_session(net, id, rng, 0.150, &used_hosts));
+  }
+
+  std::printf("%12s %12s %20s %8s\n", "time(min)", "sessions",
+              "throughput(Mbps)", "#VNFs");
+  auto report = [&](int minute) {
+    std::printf("%12d %12zu %20.1f %8d\n", minute, ctl.sessions().size(),
+                ctl.total_throughput_mbps(), ctl.alive_vnfs());
+  };
+
+  // Receiver-churn bookkeeping: receivers added at 70/80/90 are removed
+  // at 100/110/120 (most recently added first, as in the paper's setup).
+  std::vector<std::pair<coding::SessionId, graph::NodeIdx>> added_receivers;
+  std::uniform_int_distribution<std::size_t> host_pick(0, net.hosts.size() - 1);
+
+  for (int minute = 0; minute <= 120; minute += 10) {
+    const double now = minute * 60.0;
+    if (minute == 0) {
+      for (int i = 0; i < 3; ++i) ctl.add_session(pool[static_cast<std::size_t>(i)], now);
+    } else if (minute <= 30) {
+      ctl.add_session(pool[static_cast<std::size_t>(2 + minute / 10)], now);
+    } else if (minute <= 60) {
+      ctl.remove_session(pool[static_cast<std::size_t>(minute / 10 - 4)].id, now);
+    } else if (minute <= 90) {
+      // One receiver (a fresh VM) joins the first remaining session.
+      const coding::SessionId sid = ctl.sessions().front().id;
+      graph::NodeIdx r = -1;
+      int guard = 0;
+      while (guard++ < 200) {
+        const graph::NodeIdx cand = net.hosts[host_pick(rng)];
+        if (used_hosts.count(cand) == 0) {
+          r = cand;
+          break;
+        }
+      }
+      if (r != -1 && ctl.add_receiver(sid, r, now)) {
+        used_hosts.insert(r);
+        added_receivers.emplace_back(sid, r);
+      }
+    } else if (!added_receivers.empty()) {
+      const auto [sid, r] = added_receivers.back();
+      added_receivers.pop_back();
+      ctl.remove_receiver(sid, r, now);
+    }
+    ctl.tick(now);
+    report(minute);
+  }
+
+  std::printf("\nVM launches: %d, reuses of draining VNFs: %d\n",
+              ctl.vm_launches(), ctl.vm_reuses());
+  return 0;
+}

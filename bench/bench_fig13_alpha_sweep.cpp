@@ -1,0 +1,38 @@
+// Fig. 13 — "Multicast throughput and # of VNFs when alpha increases."
+//
+// Alpha converts VNF count into Mbps-equivalent cost in objective (2).
+// Alpha = 0 reduces (2) to pure throughput maximization; as alpha grows
+// the optimizer deploys fewer VNFs and throughput falls; at alpha = 200
+// the paper observes the system "refuses to launch any new VNF" — the
+// deployment cost outweighs any throughput it could add.
+#include <random>
+
+#include "common.hpp"
+#include "ctrl/controller.hpp"
+
+int main() {
+  using namespace ncfn;
+  using namespace ncfn::bench;
+  print_header("Fig. 13", "Throughput & #VNFs vs the tradeoff factor alpha");
+  std::printf("paper: both decrease in alpha; zero VNFs at alpha = 200\n\n");
+  std::printf("%10s %20s %8s\n", "alpha", "throughput(Mbps)", "#VNFs");
+
+  // Static joint solve of all six sessions at each alpha.
+  const auto net = app::scenarios::six_datacenters();
+  for (const double alpha : {0.0, 10.0, 20.0, 50.0, 75.0, 100.0, 150.0, 200.0}) {
+    ctrl::DeploymentProblem prob;
+    prob.topo = &net.topo;
+    prob.alpha = alpha;
+    prob.path_limits.max_paths = 24;
+    std::mt19937 rng(31);  // identical session mix per alpha
+    std::set<graph::NodeIdx> used_hosts;
+    for (coding::SessionId id = 1; id <= 6; ++id) {
+      prob.sessions.push_back(app::scenarios::random_session(
+          net, id, rng, 0.150, &used_hosts));
+    }
+    const auto plan = ctrl::solve_deployment(prob);
+    std::printf("%10.0f %20.1f %8d\n", alpha, plan.total_throughput_mbps(),
+                plan.total_vnfs());
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Codec microbenchmarks (google-benchmark): the GF(2^8) bulk kernels and
+// the encoder/recoder/decoder at several generation sizes. These numbers
+// calibrate the VNF processing model (VnfConfig::proc_rate_Bps) that
+// drives the Fig. 4 generation-size collapse.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "coding/decoder.hpp"
+#include "coding/encoder.hpp"
+#include "coding/generation.hpp"
+#include "gf/gf256.hpp"
+
+namespace {
+
+using namespace ncfn;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> d(0, 255);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(d(rng));
+  return out;
+}
+
+void BM_GfBulkXor(benchmark::State& state) {
+  auto a = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    gf::bulk_xor(a, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GfBulkXor)->Arg(1460)->Arg(65536);
+
+void BM_GfBulkMulAdd(benchmark::State& state) {
+  auto a = random_bytes(static_cast<std::size_t>(state.range(0)), 3);
+  const auto b = random_bytes(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    gf::bulk_muladd(a, b, 0x8E);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GfBulkMulAdd)->Arg(1460)->Arg(65536);
+
+void BM_EncodeGeneration(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  coding::CodingParams p;
+  p.generation_blocks = g;
+  const auto data = random_bytes(p.generation_bytes(), 5);
+  coding::Generation gen(0, data, p);
+  std::mt19937 rng(6);
+  coding::Encoder enc(1, gen, rng);
+  for (auto _ : state) {
+    auto pkt = enc.encode_random();
+    benchmark::DoNotOptimize(pkt.payload.data());
+  }
+  // Payload bytes produced per encoded packet.
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.block_size));
+}
+BENCHMARK(BM_EncodeGeneration)->Arg(2)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_DecodeGeneration(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  coding::CodingParams p;
+  p.generation_blocks = g;
+  const auto data = random_bytes(p.generation_bytes(), 7);
+  coding::Generation gen(0, data, p);
+  std::mt19937 rng(8);
+  coding::Encoder enc(1, gen, rng);
+  // Pre-encode enough packets outside the timed loop.
+  std::vector<coding::CodedPacket> pkts;
+  for (std::size_t i = 0; i < g + 8; ++i) pkts.push_back(enc.encode_random());
+  for (auto _ : state) {
+    coding::Decoder dec(1, 0, p);
+    std::size_t i = 0;
+    while (!dec.complete() && i < pkts.size()) dec.add(pkts[i++]);
+    auto blocks = dec.recover();
+    benchmark::DoNotOptimize(blocks.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.generation_bytes()));
+}
+BENCHMARK(BM_DecodeGeneration)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Recode(benchmark::State& state) {
+  const auto g = static_cast<std::size_t>(state.range(0));
+  coding::CodingParams p;
+  p.generation_blocks = g;
+  const auto data = random_bytes(p.generation_bytes(), 9);
+  coding::Generation gen(0, data, p);
+  std::mt19937 rng(10);
+  coding::Encoder enc(1, gen, rng);
+  coding::Decoder relay(1, 0, p);
+  for (std::size_t i = 0; i < g; ++i) relay.add(enc.encode_random());
+  for (auto _ : state) {
+    auto pkt = relay.recode(rng);
+    benchmark::DoNotOptimize(pkt.payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.block_size));
+}
+BENCHMARK(BM_Recode)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HeaderSerializeParse(benchmark::State& state) {
+  coding::CodingParams p;
+  coding::CodedPacket pkt;
+  pkt.session = 1;
+  pkt.generation = 42;
+  pkt.coeffs = {1, 2, 3, 4};
+  pkt.payload = random_bytes(p.block_size, 11);
+  for (auto _ : state) {
+    const auto wire = pkt.serialize();
+    auto back = coding::CodedPacket::parse(wire, p);
+    benchmark::DoNotOptimize(back->payload.data());
+  }
+}
+BENCHMARK(BM_HeaderSerializeParse);
+
+}  // namespace

@@ -1,0 +1,73 @@
+// Bulk file distribution over lossy Internet paths — the paper's second
+// use case (large file sharing). Shows how per-generation redundancy
+// (NC0/NC1/NC2, Sec. V.B.3) trades goodput for robustness: the same 20 MB
+// file is pushed through the butterfly with 15% loss on the bottleneck at
+// each redundancy level, and we report completion time and repair
+// traffic.
+#include <cstdio>
+#include <memory>
+
+#include "app/provider.hpp"
+#include "app/runtime.hpp"
+#include "app/scenarios.hpp"
+#include "ctrl/problem.hpp"
+#include "netsim/loss.hpp"
+
+using namespace ncfn;
+
+int main() {
+  const auto b = app::scenarios::butterfly(false);
+  ctrl::SessionSpec spec;
+  spec.id = 1;
+  spec.source = b.source;
+  spec.receivers = {b.recv_o2, b.recv_c2};
+  spec.lmax_s = 0.150;
+  ctrl::DeploymentProblem prob;
+  prob.topo = &b.topo;
+  prob.alpha = 0.0;
+  prob.sessions = {spec};
+  const auto plan = ctrl::solve_deployment(prob);
+
+  coding::CodingParams params;
+  const std::size_t file_bytes = 20 * 1000 * 1000;
+  app::SyntheticProvider file(77, file_bytes, params);
+
+  std::printf("20 MB file multicast, 15%% uniform loss on the bottleneck\n\n");
+  std::printf("%6s %16s %16s %12s %10s\n", "mode", "completion(s)",
+              "goodput(Mbps)", "repair pkts", "corrupt");
+
+  for (int redundancy = 0; redundancy <= 2; ++redundancy) {
+    app::SimNet sim(b.topo);
+    sim.link(b.bottleneck)
+        ->set_loss_model(std::make_unique<netsim::UniformLoss>(0.15));
+    app::SessionWiring wiring;
+    wiring.vnf.params = params;
+    wiring.redundancy = redundancy;
+    app::NcMulticastSession mc(sim, plan, 0, spec, file, wiring);
+    mc.receiver(0).set_verify(&file);
+    mc.receiver(1).set_verify(&file);
+    mc.start();
+    sim.net().sim().run_until(120.0);
+
+    double completion = -1;
+    if (mc.all_complete()) {
+      completion = 0;
+      for (std::size_t k = 0; k < 2; ++k) {
+        completion =
+            std::max(completion, mc.receiver(k).stats().completed_at);
+      }
+    }
+    std::uint64_t corrupt = 0;
+    for (std::size_t k = 0; k < 2; ++k) {
+      corrupt += mc.receiver(k).stats().verify_failures;
+    }
+    std::printf("%5s%d %16.2f %16.2f %12llu %10llu\n", "NC", redundancy,
+                completion, mc.session_goodput_mbps(),
+                static_cast<unsigned long long>(
+                    mc.source().stats().repair_packets_sent),
+                static_cast<unsigned long long>(corrupt));
+  }
+  std::printf("\nNC0 leans on the repair loop (many retransmissions);\n"
+              "NC1/NC2 absorb loss with proactive redundancy instead\n");
+  return 0;
+}

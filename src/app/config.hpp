@@ -1,0 +1,54 @@
+// Scenario files: a line-oriented text format describing an overlay and
+// its multicast sessions, consumed by the CLI tools (tools/ncfn-plan,
+// tools/ncfn-run) and usable by any embedder.
+//
+//   # comments and blank lines are ignored
+//   alpha 20                                # VNF cost (Mbps-equivalent)
+//   node V1 host [bin=400] [bout=500]       # caps in Mbps, optional
+//   node O1 dc bin=200 bout=200 cap=200     # cap = C(v), coding rate
+//   edge V1 O1 30 35                        # delay_ms capacity_Mbps
+//   duplex O1 C1 12 100                     # both directions
+//   edge O1 O2 15                           # capacity omitted = unlimited
+//   session 1 V1 -> O2 C2 lmax=150 maxrate=200
+//   session 2 V1 -> C2 rate=25              # fixed-rate (live stream)
+//
+// Node references resolve by name; sessions may appear before or after
+// the nodes they reference are declared only if declared-before-use —
+// the parser is single-pass and reports the offending line on error.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctrl/problem.hpp"
+#include "graph/topology.hpp"
+
+namespace ncfn::app {
+
+struct Scenario {
+  graph::Topology topo;
+  std::map<std::string, graph::NodeIdx> nodes;  // name -> index
+  std::vector<ctrl::SessionSpec> sessions;
+  double alpha = 20.0;
+
+  [[nodiscard]] std::string node_name(graph::NodeIdx idx) const;
+};
+
+struct ParseError {
+  int line = 0;          // 1-based line number
+  std::string message;
+};
+
+/// Parse a scenario from text. Returns the scenario or a ParseError
+/// naming the first offending line.
+[[nodiscard]] std::optional<Scenario> parse_scenario(const std::string& text,
+                                                     ParseError* error = nullptr);
+
+/// Convenience: read and parse a scenario file from disk. Returns
+/// std::nullopt (with `error`) if the file is unreadable or malformed.
+[[nodiscard]] std::optional<Scenario> load_scenario(const std::string& path,
+                                                    ParseError* error = nullptr);
+
+}  // namespace ncfn::app

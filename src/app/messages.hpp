@@ -1,0 +1,82 @@
+// Application feedback messages: repair requests (retransmission of
+// packets for an incomplete generation) and first-generation ACKs (used by
+// the Table II delay measurement: "we allow each receiver to send an
+// acknowledge directly back to the source once it has successfully
+// received the (decoded) first generation").
+//
+// Wire layout (big-endian):
+//   [0]      type (1 = repair, 2 = ack)
+//   [1..4]   session id
+//   [5..8]   generation id
+//   [9..10]  count  (repair: packets wanted; ack: 0)
+//   [11..18] block mask (repair, Non-NC: which original blocks are missing)
+//   [19..22] receiver node id
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coding/types.hpp"
+
+namespace ncfn::app {
+
+enum class FeedbackType : std::uint8_t { kRepair = 1, kAck = 2 };
+
+struct Feedback {
+  FeedbackType type = FeedbackType::kRepair;
+  coding::SessionId session = 0;
+  coding::GenerationId generation = 0;
+  std::uint16_t count = 0;
+  std::uint64_t block_mask = 0;
+  std::uint32_t receiver_node = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static std::optional<Feedback> parse(
+      std::span<const std::uint8_t> wire);
+};
+
+inline std::vector<std::uint8_t> Feedback::serialize() const {
+  std::vector<std::uint8_t> out(23);
+  out[0] = static_cast<std::uint8_t>(type);
+  auto put32 = [&](std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out[at + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (24 - 8 * i));
+    }
+  };
+  put32(1, session);
+  put32(5, generation);
+  out[9] = static_cast<std::uint8_t>(count >> 8);
+  out[10] = static_cast<std::uint8_t>(count);
+  for (int i = 0; i < 8; ++i) {
+    out[11 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(block_mask >> (56 - 8 * i));
+  }
+  put32(19, receiver_node);
+  return out;
+}
+
+inline std::optional<Feedback> Feedback::parse(
+    std::span<const std::uint8_t> wire) {
+  if (wire.size() != 23) return std::nullopt;
+  if (wire[0] != 1 && wire[0] != 2) return std::nullopt;
+  Feedback f;
+  f.type = static_cast<FeedbackType>(wire[0]);
+  auto get32 = [&](std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = (v << 8) | wire[at + static_cast<std::size_t>(i)];
+    }
+    return v;
+  };
+  f.session = get32(1);
+  f.generation = get32(5);
+  f.count = static_cast<std::uint16_t>((wire[9] << 8) | wire[10]);
+  for (int i = 0; i < 8; ++i) f.block_mask = (f.block_mask << 8) | wire[11 + static_cast<std::size_t>(i)];
+  f.receiver_node = get32(19);
+  return f;
+}
+
+}  // namespace ncfn::app

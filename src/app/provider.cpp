@@ -1,0 +1,68 @@
+#include "app/provider.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ncfn::app {
+
+namespace {
+/// splitmix64: tiny, fast, deterministic byte stream.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+BufferProvider::BufferProvider(std::vector<std::uint8_t> data,
+                               const coding::CodingParams& params)
+    : data_(std::move(data)), params_(params) {
+  assert(!data_.empty());
+}
+
+coding::GenerationId BufferProvider::generation_count() const {
+  const std::size_t gb = params_.generation_bytes();
+  return static_cast<coding::GenerationId>((data_.size() + gb - 1) / gb);
+}
+
+coding::Generation BufferProvider::generation(coding::GenerationId id) const {
+  const std::size_t gb = params_.generation_bytes();
+  const std::size_t off = static_cast<std::size_t>(id) * gb;
+  assert(off < data_.size());
+  const std::size_t n = std::min(gb, data_.size() - off);
+  return coding::Generation(
+      id, std::span<const std::uint8_t>(data_).subspan(off, n), params_);
+}
+
+coding::GenerationId SyntheticProvider::generation_count() const {
+  const std::size_t gb = params_.generation_bytes();
+  return static_cast<coding::GenerationId>((total_bytes_ + gb - 1) / gb);
+}
+
+std::vector<std::uint8_t> SyntheticProvider::generation_bytes(
+    coding::GenerationId id) const {
+  const std::size_t gb = params_.generation_bytes();
+  const std::size_t off = static_cast<std::size_t>(id) * gb;
+  assert(off < total_bytes_);
+  const std::size_t n = std::min(gb, total_bytes_ - off);
+  std::vector<std::uint8_t> out(n);
+  std::uint64_t state = seed_ ^ (0xA5A5A5A5ull + id * 0x2545F4914F6CDD1Dull);
+  std::size_t i = 0;
+  while (i < n) {
+    const std::uint64_t word = splitmix64(state);
+    for (int b = 0; b < 8 && i < n; ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+  }
+  return out;
+}
+
+coding::Generation SyntheticProvider::generation(
+    coding::GenerationId id) const {
+  const auto bytes = generation_bytes(id);
+  return coding::Generation(id, bytes, params_);
+}
+
+}  // namespace ncfn::app

@@ -1,0 +1,73 @@
+// Application data source: supplies the bytes of each generation.
+//
+// Two implementations:
+//   * BufferProvider — a real in-memory file (the paper's file-transfer
+//     driver app), split into generations.
+//   * SyntheticProvider — deterministic pseudo-random content generated
+//     per (session, generation) on demand, so long transfers need O(1)
+//     memory on both ends and receivers can still verify every decoded
+//     byte by regenerating the expected content.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coding/generation.hpp"
+#include "coding/types.hpp"
+
+namespace ncfn::app {
+
+class GenerationProvider {
+ public:
+  virtual ~GenerationProvider() = default;
+  /// Total number of generations in the session's data.
+  [[nodiscard]] virtual coding::GenerationId generation_count() const = 0;
+  /// Total meaningful payload bytes.
+  [[nodiscard]] virtual std::size_t total_bytes() const = 0;
+  /// Materialize generation `id` (0-based, < generation_count()).
+  [[nodiscard]] virtual coding::Generation generation(
+      coding::GenerationId id) const = 0;
+};
+
+/// Provider over a caller-supplied byte buffer.
+class BufferProvider final : public GenerationProvider {
+ public:
+  BufferProvider(std::vector<std::uint8_t> data,
+                 const coding::CodingParams& params);
+
+  [[nodiscard]] coding::GenerationId generation_count() const override;
+  [[nodiscard]] std::size_t total_bytes() const override { return data_.size(); }
+  [[nodiscard]] coding::Generation generation(
+      coding::GenerationId id) const override;
+  [[nodiscard]] std::span<const std::uint8_t> data() const { return data_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  coding::CodingParams params_;
+};
+
+/// Deterministic synthetic content keyed by (seed, generation).
+class SyntheticProvider final : public GenerationProvider {
+ public:
+  SyntheticProvider(std::uint64_t seed, std::size_t total_bytes,
+                    const coding::CodingParams& params)
+      : seed_(seed), total_bytes_(total_bytes), params_(params) {}
+
+  [[nodiscard]] coding::GenerationId generation_count() const override;
+  [[nodiscard]] std::size_t total_bytes() const override { return total_bytes_; }
+  [[nodiscard]] coding::Generation generation(
+      coding::GenerationId id) const override;
+
+  /// Expected raw bytes of generation `id` (for receiver-side verification).
+  [[nodiscard]] std::vector<std::uint8_t> generation_bytes(
+      coding::GenerationId id) const;
+
+ private:
+  std::uint64_t seed_;
+  std::size_t total_bytes_;
+  coding::CodingParams params_;
+};
+
+}  // namespace ncfn::app

@@ -1,0 +1,263 @@
+#include "app/runtime.hpp"
+
+#include "ctrl/quantize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace ncfn::app {
+
+SimNet::SimNet(const graph::Topology& topo, SimNetConfig cfg)
+    : topo_(&topo), net_(cfg.seed) {
+  for (int i = 0; i < topo.node_count(); ++i) {
+    const netsim::NodeId id = net_.add_node(topo.node(i).name);
+    assert(id == static_cast<netsim::NodeId>(i));
+    (void)id;
+  }
+  for (int e = 0; e < topo.edge_count(); ++e) {
+    const graph::EdgeInfo& ei = topo.edge(e);
+    netsim::LinkConfig lc;
+    lc.capacity_bps = std::isfinite(ei.capacity_bps) ? ei.capacity_bps
+                                                     : cfg.default_capacity_bps;
+    lc.prop_delay = ei.delay_s;
+    lc.queue_packets = cfg.queue_packets;
+    net_.add_link(static_cast<netsim::NodeId>(ei.from),
+                  static_cast<netsim::NodeId>(ei.to), lc);
+  }
+}
+
+netsim::Link* SimNet::link(graph::EdgeIdx e) {
+  const graph::EdgeInfo& ei = topo_->edge(e);
+  return net_.link(static_cast<netsim::NodeId>(ei.from),
+                   static_cast<netsim::NodeId>(ei.to));
+}
+
+vnf::CodingVnf& SimNet::vnf_at(graph::NodeIdx node,
+                               const vnf::VnfConfig& cfg) {
+  auto it = vnfs_.find(node);
+  if (it == vnfs_.end()) {
+    it = vnfs_
+             .emplace(node, std::make_unique<vnf::CodingVnf>(
+                                net_, static_cast<netsim::NodeId>(node), cfg))
+             .first;
+  }
+  return *it->second;
+}
+
+vnf::CodingVnf* SimNet::find_vnf(graph::NodeIdx node) {
+  auto it = vnfs_.find(node);
+  return it == vnfs_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+double min_session_goodput(
+    const std::vector<std::unique_ptr<McReceiver>>& receivers) {
+  double mn = std::numeric_limits<double>::infinity();
+  for (const auto& r : receivers) mn = std::min(mn, r->goodput_mbps());
+  return receivers.empty() ? 0.0 : mn;
+}
+
+bool all_receivers_complete(
+    const std::vector<std::unique_ptr<McReceiver>>& receivers) {
+  return std::all_of(receivers.begin(), receivers.end(),
+                     [](const auto& r) { return r->complete(); });
+}
+
+}  // namespace
+
+NcMulticastSession::NcMulticastSession(SimNet& sim,
+                                       const ctrl::DeploymentPlan& raw_plan,
+                                       std::size_t m,
+                                       const ctrl::SessionSpec& spec,
+                                       const GenerationProvider& provider,
+                                       const SessionWiring& wiring) {
+  ctrl::DeploymentPlan quantized;
+  const ctrl::DeploymentPlan* plan_ptr = &raw_plan;
+  if (wiring.quantize) {
+    quantized = raw_plan;
+    ctrl::quantize_plan(quantized, wiring.vnf.params.generation_blocks);
+    plan_ptr = &quantized;
+  }
+  const ctrl::DeploymentPlan& plan = *plan_ptr;
+  const graph::Topology& topo = sim.topo();
+  const netsim::Port data_port = ctrl::session_data_port(spec.id);
+  const netsim::Port fb_port = session_feedback_port(spec.id);
+
+  // ---- Source ----
+  SourceConfig scfg;
+  scfg.session = spec.id;
+  scfg.params = wiring.vnf.params;
+  scfg.redundancy = wiring.redundancy;
+  scfg.lambda_mbps = std::max(plan.lambda_mbps.at(m), 1e-3);
+  scfg.data_port = data_port;
+  scfg.feedback_port = fb_port;
+  scfg.seed = wiring.seed;
+  source_ = std::make_unique<McSource>(sim.net(), sim.node(spec.source),
+                                       provider, scfg);
+  std::vector<std::pair<ctrl::NextHop, double>> src_hops;
+  for (const auto& [to, rate] : plan.next_hops(topo, m, spec.source)) {
+    src_hops.emplace_back(
+        ctrl::NextHop{static_cast<std::uint32_t>(sim.node(to)), data_port},
+        rate);
+  }
+  source_->configure_hops(std::move(src_hops));
+
+  // ---- Relays: every DC carrying this session's flow ----
+  std::set<graph::NodeIdx> relay_nodes;
+  std::map<graph::NodeIdx, double> in_rate;
+  std::map<graph::NodeIdx, int> in_edges;
+  for (const auto& [e, rate] : plan.edge_rate_mbps.at(m)) {
+    const graph::EdgeInfo& ei = topo.edge(e);
+    if (ei.to != spec.source &&
+        topo.node(ei.to).kind == graph::NodeKind::kDataCenter) {
+      relay_nodes.insert(ei.to);
+      in_rate[ei.to] += rate;
+      in_edges[ei.to] += 1;
+    }
+  }
+  for (graph::NodeIdx v : relay_nodes) {
+    vnf::VnfConfig vcfg = wiring.vnf;
+    vcfg.seed = wiring.seed + static_cast<std::uint32_t>(v) * 131u + 1;
+    vnf::CodingVnf& relay = sim.vnf_at(v, vcfg);
+    const auto it = plan.vnf_count.find(v);
+    const int lanes = it == plan.vnf_count.end() ? 1 : std::max(1, it->second);
+    if (static_cast<std::size_t>(lanes) > relay.lanes()) {
+      relay.set_lanes(static_cast<std::size_t>(lanes));
+    }
+    std::vector<vnf::NextHopRate> hops;
+    bool thins = false;  // some out-hop carries less than the inflow
+    for (const auto& [to, rate] : plan.next_hops(topo, m, v)) {
+      const double share = rate / std::max(in_rate[v], 1e-9);
+      if (share < 0.999) thins = true;
+      hops.push_back(vnf::NextHopRate{
+          ctrl::NextHop{static_cast<std::uint32_t>(sim.node(to)), data_port},
+          share});
+    }
+    // Coding is needed where multiple flows of the session merge
+    // (Sec. IV.A: "direct forwarding is sufficient" otherwise) — and also
+    // wherever the relay thins the stream: forwarding would send the SAME
+    // packet subset down every branch, collapsing the downstream branches
+    // onto one subspace, whereas recoding keeps each branch's packets
+    // independent draws from the relay's span.
+    const ctrl::VnfRole role =
+        in_edges[v] >= 2 || thins ? ctrl::VnfRole::kRecode
+                                  : ctrl::VnfRole::kForward;
+    relay.configure_session(spec.id, role, data_port);
+    relay.set_next_hops(spec.id, std::move(hops));
+  }
+
+  // ---- Receivers ----
+  for (graph::NodeIdx r : spec.receivers) {
+    ReceiverConfig rcfg;
+    rcfg.session = spec.id;
+    rcfg.params = wiring.vnf.params;
+    rcfg.data_port = data_port;
+    rcfg.source_node = static_cast<std::uint32_t>(sim.node(spec.source));
+    rcfg.source_feedback_port = fb_port;
+    rcfg.enable_repair = wiring.enable_repair;
+    rcfg.repair_timeout_s = wiring.repair_timeout_s;
+    rcfg.sample_interval_s = wiring.sample_interval_s;
+    rcfg.vnf = wiring.vnf;
+    rcfg.vnf.seed = wiring.seed + static_cast<std::uint32_t>(r) * 733u + 5;
+    receivers_.push_back(std::make_unique<McReceiver>(
+        sim.net(), sim.node(r), provider, rcfg));
+  }
+}
+
+void NcMulticastSession::start() {
+  for (auto& r : receivers_) r->start();
+  source_->start();
+}
+
+double NcMulticastSession::session_goodput_mbps() const {
+  return min_session_goodput(receivers_);
+}
+
+bool NcMulticastSession::all_complete() const {
+  return all_receivers_complete(receivers_);
+}
+
+TreeMulticastSession::TreeMulticastSession(SimNet& sim,
+                                           const TreePacking& packing,
+                                           const ctrl::SessionSpec& spec,
+                                           const GenerationProvider& provider,
+                                           const SessionWiring& wiring) {
+  const graph::Topology& topo = sim.topo();
+  const netsim::Port data_port = ctrl::session_data_port(spec.id);
+  const netsim::Port fb_port = session_feedback_port(spec.id);
+
+  double total_rate = 0.0;
+  for (const MulticastTree& t : packing.trees) total_rate += t.rate_mbps;
+
+  SourceConfig scfg;
+  scfg.session = spec.id;
+  scfg.params = wiring.vnf.params;
+  scfg.redundancy = 0;  // routing-only: no coded redundancy
+  scfg.lambda_mbps = std::max(total_rate, 1e-3);
+  scfg.data_port = data_port;
+  scfg.feedback_port = fb_port;
+  scfg.seed = wiring.seed;
+  source_ = std::make_unique<McSource>(sim.net(), sim.node(spec.source),
+                                       provider, scfg);
+  source_->configure_trees(topo, packing.trees);
+
+  // Relays: every interior node with out-edges in some tree.
+  const auto schedule = tree_schedule(packing.trees);
+  std::set<graph::NodeIdx> relay_nodes;
+  for (const MulticastTree& t : packing.trees) {
+    for (graph::EdgeIdx e : t.edges) {
+      const graph::NodeIdx from = topo.edge(e).from;
+      if (from != spec.source) relay_nodes.insert(from);
+    }
+  }
+  for (graph::NodeIdx v : relay_nodes) {
+    vnf::VnfConfig vcfg = wiring.vnf;
+    vcfg.seed = wiring.seed + static_cast<std::uint32_t>(v) * 131u + 1;
+    vnf::CodingVnf& relay = sim.vnf_at(v, vcfg);
+    relay.configure_session(spec.id, ctrl::VnfRole::kForward, data_port);
+    vnf::TreeRouting routing;
+    routing.schedule = schedule;
+    routing.hops_per_tree.resize(packing.trees.size());
+    for (std::size_t j = 0; j < packing.trees.size(); ++j) {
+      for (graph::NodeIdx to : packing.trees[j].next_hops(topo, v)) {
+        routing.hops_per_tree[j].push_back(ctrl::NextHop{
+            static_cast<std::uint32_t>(sim.node(to)), data_port});
+      }
+    }
+    relay.set_tree_routing(spec.id, std::move(routing));
+  }
+
+  for (graph::NodeIdx r : spec.receivers) {
+    ReceiverConfig rcfg;
+    rcfg.session = spec.id;
+    rcfg.params = wiring.vnf.params;
+    rcfg.data_port = data_port;
+    rcfg.source_node = static_cast<std::uint32_t>(sim.node(spec.source));
+    rcfg.source_feedback_port = fb_port;
+    rcfg.enable_repair = wiring.enable_repair;
+    rcfg.repair_timeout_s = wiring.repair_timeout_s;
+    rcfg.sample_interval_s = wiring.sample_interval_s;
+    rcfg.vnf = wiring.vnf;
+    rcfg.vnf.seed = wiring.seed + static_cast<std::uint32_t>(r) * 733u + 5;
+    receivers_.push_back(std::make_unique<McReceiver>(
+        sim.net(), sim.node(r), provider, rcfg));
+  }
+}
+
+void TreeMulticastSession::start() {
+  for (auto& r : receivers_) r->start();
+  source_->start();
+}
+
+double TreeMulticastSession::session_goodput_mbps() const {
+  return min_session_goodput(receivers_);
+}
+
+bool TreeMulticastSession::all_complete() const {
+  return all_receivers_complete(receivers_);
+}
+
+}  // namespace ncfn::app

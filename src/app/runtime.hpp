@@ -1,0 +1,122 @@
+// End-to-end session orchestration: builds a simulated network from a
+// controller topology, instantiates coding functions per the deployment
+// plan, and wires sources and receivers — the programmatic equivalent of
+// the paper's prototype gluing the controller's decisions onto EC2/Linode
+// VMs.
+//
+// Node indices in the controller topology map 1:1 onto simulator node ids
+// (SimNet adds nodes in topology order), so plans translate directly into
+// forwarding configuration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "app/baseline.hpp"
+#include "app/provider.hpp"
+#include "app/receiver.hpp"
+#include "app/source.hpp"
+#include "ctrl/controller.hpp"
+#include "ctrl/problem.hpp"
+#include "graph/topology.hpp"
+#include "netsim/network.hpp"
+#include "vnf/coding_vnf.hpp"
+
+namespace ncfn::app {
+
+struct SimNetConfig {
+  /// Capacity used for topology edges with infinite capacity_bps.
+  double default_capacity_bps = 10e9;
+  std::size_t queue_packets = 1024;
+  std::uint32_t seed = 1;
+};
+
+/// The simulated "cloud": one simulator node per topology node, one link
+/// per topology edge, and at most one coding-function object per node
+/// (shared by all sessions relayed there).
+class SimNet {
+ public:
+  explicit SimNet(const graph::Topology& topo, SimNetConfig cfg = {});
+
+  [[nodiscard]] netsim::Network& net() { return net_; }
+  [[nodiscard]] const graph::Topology& topo() const { return *topo_; }
+  [[nodiscard]] netsim::NodeId node(graph::NodeIdx i) const {
+    return static_cast<netsim::NodeId>(i);
+  }
+  [[nodiscard]] netsim::Link* link(graph::EdgeIdx e);
+
+  /// The shared coding function at a node, created on first use.
+  vnf::CodingVnf& vnf_at(graph::NodeIdx node, const vnf::VnfConfig& cfg);
+  [[nodiscard]] vnf::CodingVnf* find_vnf(graph::NodeIdx node);
+
+ private:
+  const graph::Topology* topo_;
+  netsim::Network net_;
+  std::map<graph::NodeIdx, std::unique_ptr<vnf::CodingVnf>> vnfs_;
+};
+
+/// Per-session wiring options shared by both transport modes.
+struct SessionWiring {
+  int redundancy = 0;  // NC0/NC1/NC2
+  bool enable_repair = true;
+  double repair_timeout_s = 0.25;
+  double sample_interval_s = 1.0;
+  /// Snap the plan's flows to whole packets per generation before wiring
+  /// (ctrl::quantize_plan) — fractional per-generation quanta stall the
+  /// decoder on a fraction of generations. Costs at most a few quanta of
+  /// planned rate.
+  bool quantize = true;
+  vnf::VnfConfig vnf;  // processing model (params set from the session)
+  std::uint32_t seed = 99;
+};
+
+/// A network-coded multicast session instantiated from a deployment plan.
+class NcMulticastSession {
+ public:
+  NcMulticastSession(SimNet& sim, const ctrl::DeploymentPlan& plan,
+                     std::size_t plan_index, const ctrl::SessionSpec& spec,
+                     const GenerationProvider& provider,
+                     const SessionWiring& wiring);
+
+  void start();
+
+  [[nodiscard]] McSource& source() { return *source_; }
+  [[nodiscard]] McReceiver& receiver(std::size_t k) { return *receivers_.at(k); }
+  [[nodiscard]] std::size_t receiver_count() const { return receivers_.size(); }
+  /// Session goodput = min over receivers (the paper's multicast rate).
+  [[nodiscard]] double session_goodput_mbps() const;
+  [[nodiscard]] bool all_complete() const;
+
+ private:
+  std::unique_ptr<McSource> source_;
+  std::vector<std::unique_ptr<McReceiver>> receivers_;
+};
+
+/// A routing-only (Non-NC) session over packed multicast trees.
+class TreeMulticastSession {
+ public:
+  TreeMulticastSession(SimNet& sim, const TreePacking& packing,
+                       const ctrl::SessionSpec& spec,
+                       const GenerationProvider& provider,
+                       const SessionWiring& wiring);
+
+  void start();
+
+  [[nodiscard]] McSource& source() { return *source_; }
+  [[nodiscard]] McReceiver& receiver(std::size_t k) { return *receivers_.at(k); }
+  [[nodiscard]] std::size_t receiver_count() const { return receivers_.size(); }
+  [[nodiscard]] double session_goodput_mbps() const;
+  [[nodiscard]] bool all_complete() const;
+
+ private:
+  std::unique_ptr<McSource> source_;
+  std::vector<std::unique_ptr<McReceiver>> receivers_;
+};
+
+/// Feedback port for a session's source.
+[[nodiscard]] inline netsim::Port session_feedback_port(coding::SessionId id) {
+  return static_cast<netsim::Port>(40000 + id % 20000);
+}
+
+}  // namespace ncfn::app

@@ -1,0 +1,46 @@
+#include "coding/buffer.hpp"
+
+#include <algorithm>
+
+namespace ncfn::coding {
+
+Decoder& GenerationBuffer::state(SessionId session, GenerationId generation) {
+  const Key key{session, generation};
+  if (auto it = states_.find(key); it != states_.end()) return *it->second;
+
+  auto& order = fifo_[session];
+  if (order.size() >= params_.buffer_generations) {
+    const GenerationId victim = order.front();
+    order.pop_front();
+    states_.erase(Key{session, victim});
+    ++evictions_;
+  }
+  order.push_back(generation);
+  auto [it, inserted] = states_.emplace(
+      key, std::make_unique<Decoder>(session, generation, params_));
+  return *it->second;
+}
+
+Decoder* GenerationBuffer::find(SessionId session, GenerationId generation) {
+  auto it = states_.find(Key{session, generation});
+  return it == states_.end() ? nullptr : it->second.get();
+}
+
+void GenerationBuffer::erase(SessionId session, GenerationId generation) {
+  if (states_.erase(Key{session, generation}) == 0) return;
+  auto it = fifo_.find(session);
+  if (it == fifo_.end()) return;
+  auto& order = it->second;
+  order.erase(std::remove(order.begin(), order.end(), generation),
+              order.end());
+  if (order.empty()) fifo_.erase(it);
+}
+
+void GenerationBuffer::erase_session(SessionId session) {
+  auto it = fifo_.find(session);
+  if (it == fifo_.end()) return;
+  for (GenerationId gen : it->second) states_.erase(Key{session, gen});
+  fifo_.erase(it);
+}
+
+}  // namespace ncfn::coding

@@ -1,0 +1,61 @@
+// FIFO generation buffer for coding functions (Sec. III.B.2).
+//
+// "A newly arriving packet is stored based on its session ID and
+// generation ID ... We employ a FIFO buffer management strategy that
+// discards the oldest packets once the buffer is full."  The buffer holds
+// up to `buffer_generations` generations *per session* (the paper settles
+// on 1024 per session, Fig. 5); when a session exceeds its budget the
+// oldest generation's state is evicted wholesale.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "coding/decoder.hpp"
+#include "coding/types.hpp"
+
+namespace ncfn::coding {
+
+class GenerationBuffer {
+ public:
+  explicit GenerationBuffer(const CodingParams& params) : params_(params) {}
+
+  /// Decoder state for (session, generation), creating it (and possibly
+  /// evicting the session's oldest generation) if absent.
+  Decoder& state(SessionId session, GenerationId generation);
+
+  /// Existing state or nullptr; never creates.
+  [[nodiscard]] Decoder* find(SessionId session, GenerationId generation);
+
+  /// Drop one generation's state (e.g., after the decoder delivered it).
+  void erase(SessionId session, GenerationId generation);
+
+  /// Drop everything belonging to a session (session teardown).
+  void erase_session(SessionId session);
+
+  [[nodiscard]] std::size_t generations_buffered() const { return states_.size(); }
+  [[nodiscard]] std::size_t evictions() const { return evictions_; }
+  [[nodiscard]] const CodingParams& params() const { return params_; }
+
+ private:
+  struct Key {
+    SessionId session;
+    GenerationId generation;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.session) << 32) | k.generation);
+    }
+  };
+
+  CodingParams params_;
+  std::unordered_map<Key, std::unique_ptr<Decoder>, KeyHash> states_;
+  std::unordered_map<SessionId, std::deque<GenerationId>> fifo_;  // per-session arrival order
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace ncfn::coding

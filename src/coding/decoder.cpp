@@ -1,0 +1,92 @@
+#include "coding/decoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gf/gf256.hpp"
+
+namespace ncfn::coding {
+
+Decoder::Decoder(SessionId session, GenerationId generation,
+                 const CodingParams& params)
+    : session_(session),
+      generation_(generation),
+      g_(params.generation_blocks),
+      block_size_(params.block_size),
+      pivots_(g_) {}
+
+bool Decoder::add(const CodedPacket& pkt) {
+  assert(pkt.session == session_ && pkt.generation == generation_);
+  assert(pkt.coeffs.size() == g_ && pkt.payload.size() == block_size_);
+  ++seen_;
+  if (complete()) return false;
+
+  Row row{pkt.coeffs, pkt.payload};
+  // Forward-eliminate against existing pivots.
+  for (std::size_t c = 0; c < g_; ++c) {
+    const std::uint8_t lead = row.coeffs[c];
+    if (lead == 0) continue;
+    if (pivots_[c].has_value()) {
+      const Row& p = *pivots_[c];
+      gf::bulk_muladd(row.coeffs, p.coeffs, lead);
+      gf::bulk_muladd(row.payload, p.payload, lead);
+      continue;
+    }
+    // New pivot at column c: normalize leading coefficient to 1.
+    if (lead != 1) {
+      const std::uint8_t s = gf::inv(lead);
+      gf::bulk_mul(row.coeffs, s);
+      gf::bulk_mul(row.payload, s);
+    }
+    pivots_[c] = std::move(row);
+    ++rank_;
+    return true;
+  }
+  return false;  // reduced to zero: linearly dependent
+}
+
+CodedPacket Decoder::recode(std::mt19937& rng) const {
+  assert(rank_ >= 1);
+  std::uniform_int_distribution<int> dist(0, gf::kFieldSize - 1);
+  CodedPacket out;
+  out.session = session_;
+  out.generation = generation_;
+  out.coeffs.assign(g_, 0);
+  out.payload.assign(block_size_, 0);
+  bool any = false;
+  while (!any) {
+    std::fill(out.coeffs.begin(), out.coeffs.end(), 0);
+    std::fill(out.payload.begin(), out.payload.end(), 0);
+    for (const auto& p : pivots_) {
+      if (!p.has_value()) continue;
+      const auto r = static_cast<std::uint8_t>(dist(rng));
+      if (r == 0) continue;
+      any = true;
+      gf::bulk_muladd(out.coeffs, p->coeffs, r);
+      gf::bulk_muladd(out.payload, p->payload, r);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> Decoder::recover() const {
+  assert(complete());
+  // Back-substitution: walk pivots from the last column to the first,
+  // eliminating above-diagonal coefficients.
+  std::vector<Row> rows(g_);
+  for (std::size_t c = 0; c < g_; ++c) rows[c] = *pivots_[c];
+  for (std::size_t c = g_; c-- > 0;) {
+    for (std::size_t r = 0; r < c; ++r) {
+      const std::uint8_t f = rows[r].coeffs[c];
+      if (f == 0) continue;
+      gf::bulk_muladd(rows[r].coeffs, rows[c].coeffs, f);
+      gf::bulk_muladd(rows[r].payload, rows[c].payload, f);
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> blocks;
+  blocks.reserve(g_);
+  for (auto& row : rows) blocks.push_back(std::move(row.payload));
+  return blocks;
+}
+
+}  // namespace ncfn::coding

@@ -1,0 +1,67 @@
+// Incremental Gaussian-elimination decoder for one generation, which also
+// serves as the relay-side recoding state.
+//
+// A destination can recover the generation "as long as [it receives a]
+// sufficient number of [linearly independent] packets" (Sec. III.B.1); an
+// intermediate VNF "generates an encoded packet immediately after it
+// receives a packet from the same session and generation" (pipelined
+// recoding, Sec. III.B.2) — both operate on the row space maintained here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "coding/packet.hpp"
+#include "coding/types.hpp"
+
+namespace ncfn::coding {
+
+class Decoder {
+ public:
+  Decoder(SessionId session, GenerationId generation,
+          const CodingParams& params);
+
+  /// Fold one coded packet into the decoding matrix.
+  /// Returns true iff the packet was innovative (increased the rank).
+  bool add(const CodedPacket& pkt);
+
+  [[nodiscard]] SessionId session() const { return session_; }
+  [[nodiscard]] GenerationId generation() const { return generation_; }
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  /// True if the decoding matrix has a pivot at column c. For systematic
+  /// traffic this is exactly "original block c has been received".
+  [[nodiscard]] bool has_pivot(std::size_t c) const {
+    return pivots_.at(c).has_value();
+  }
+  [[nodiscard]] std::size_t block_count() const { return g_; }
+  [[nodiscard]] bool complete() const { return rank_ == g_; }
+
+  /// Total packets offered to add(), and how many were innovative.
+  [[nodiscard]] std::size_t packets_seen() const { return seen_; }
+  [[nodiscard]] std::size_t packets_innovative() const { return rank_; }
+
+  /// Produce a fresh random linear combination of everything received so
+  /// far (relay recoding). Precondition: rank() >= 1.
+  [[nodiscard]] CodedPacket recode(std::mt19937& rng) const;
+
+  /// Recover the original blocks. Precondition: complete().
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> recover() const;
+
+ private:
+  struct Row {
+    std::vector<std::uint8_t> coeffs;
+    std::vector<std::uint8_t> payload;
+  };
+
+  SessionId session_;
+  GenerationId generation_;
+  std::size_t g_;
+  std::size_t block_size_;
+  std::size_t rank_ = 0;
+  std::size_t seen_ = 0;
+  std::vector<std::optional<Row>> pivots_;  // pivots_[c]: row with leading 1 at column c
+};
+
+}  // namespace ncfn::coding

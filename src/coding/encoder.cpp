@@ -1,0 +1,44 @@
+#include "coding/encoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gf/gf256.hpp"
+
+namespace ncfn::coding {
+
+CodedPacket Encoder::encode_random() {
+  const std::size_t g = generation_->block_count();
+  std::uniform_int_distribution<int> dist(0, gf::kFieldSize - 1);
+  std::vector<std::uint8_t> coeffs(g);
+  do {
+    for (auto& c : coeffs) c = static_cast<std::uint8_t>(dist(*rng_));
+  } while (std::all_of(coeffs.begin(), coeffs.end(),
+                       [](std::uint8_t c) { return c == 0; }));
+  return encode_with(coeffs);
+}
+
+CodedPacket Encoder::encode_systematic(std::size_t i) {
+  const std::size_t g = generation_->block_count();
+  assert(i < g);
+  std::vector<std::uint8_t> coeffs(g, 0);
+  coeffs[i] = 1;
+  return encode_with(coeffs);
+}
+
+CodedPacket Encoder::encode_with(
+    std::span<const std::uint8_t> coeffs) const {
+  const std::size_t g = generation_->block_count();
+  assert(coeffs.size() == g);
+  CodedPacket pkt;
+  pkt.session = session_;
+  pkt.generation = generation_->id();
+  pkt.coeffs.assign(coeffs.begin(), coeffs.end());
+  pkt.payload.assign(generation_->block_size(), 0);
+  for (std::size_t i = 0; i < g; ++i) {
+    gf::bulk_muladd(pkt.payload, generation_->block(i), coeffs[i]);
+  }
+  return pkt;
+}
+
+}  // namespace ncfn::coding

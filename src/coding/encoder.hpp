@@ -1,0 +1,41 @@
+// Source encoder: produces coded packets from one generation.
+//
+// Randomized network coding (Ho et al., cited by the paper): each coded
+// block is a linear combination of the generation's blocks with
+// coefficients drawn uniformly at random from GF(2^8). The encoder also
+// supports systematic operation (first emit each original block with a
+// unit coefficient vector, then random combinations), an ablation the
+// bench suite compares against fully-random encoding.
+#pragma once
+
+#include <random>
+
+#include "coding/generation.hpp"
+#include "coding/packet.hpp"
+
+namespace ncfn::coding {
+
+class Encoder {
+ public:
+  Encoder(SessionId session, const Generation& generation,
+          std::mt19937& rng)
+      : session_(session), generation_(&generation), rng_(&rng) {}
+
+  /// Emit one random coded packet. The coefficient vector is redrawn if it
+  /// comes out all-zero (probability 2^-8g, but correctness demands it).
+  [[nodiscard]] CodedPacket encode_random();
+
+  /// Emit original block `i` as a systematic packet (unit coefficients).
+  [[nodiscard]] CodedPacket encode_systematic(std::size_t i);
+
+  /// Emit a packet with caller-chosen coefficients (used by tests).
+  [[nodiscard]] CodedPacket encode_with(
+      std::span<const std::uint8_t> coeffs) const;
+
+ private:
+  SessionId session_;
+  const Generation* generation_;
+  std::mt19937* rng_;
+};
+
+}  // namespace ncfn::coding

@@ -1,0 +1,47 @@
+// Source-side generation: the unit of coding (Fig. 3 of the paper).
+//
+// The application's byte stream is split into generations; each generation
+// into `generation_blocks` blocks of `block_size` bytes. A short trailing
+// generation is zero-padded (the application protocol carries the true
+// length out of band, here in the session manifest).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/types.hpp"
+
+namespace ncfn::coding {
+
+/// Holds the original (uncoded) blocks of one generation at the source.
+class Generation {
+ public:
+  /// Build from raw bytes; pads the tail with zeros up to a whole number
+  /// of blocks. `data.size()` must be in (0, params.generation_bytes()].
+  Generation(GenerationId id, std::span<const std::uint8_t> data,
+             const CodingParams& params);
+
+  [[nodiscard]] GenerationId id() const { return id_; }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
+  /// Number of meaningful (unpadded) bytes in this generation.
+  [[nodiscard]] std::size_t payload_bytes() const { return payload_bytes_; }
+
+  [[nodiscard]] std::span<const std::uint8_t> block(std::size_t i) const {
+    return blocks_.at(i);
+  }
+
+ private:
+  GenerationId id_;
+  std::size_t block_size_;
+  std::size_t payload_bytes_;
+  std::vector<std::vector<std::uint8_t>> blocks_;
+};
+
+/// Split a byte stream into generations, numbered from `first_id`.
+[[nodiscard]] std::vector<Generation> split_into_generations(
+    std::span<const std::uint8_t> data, const CodingParams& params,
+    GenerationId first_id = 0);
+
+}  // namespace ncfn::coding

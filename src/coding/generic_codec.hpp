@@ -1,0 +1,138 @@
+// Field-parameterized mini-codec used by the field-size ablation bench
+// (the paper fixes GF(2^8) citing prior measurements that it maximizes
+// throughput; this codec lets the bench re-derive that comparison for
+// GF(2^4), GF(2^8) and GF(2^16)).
+//
+// The production data plane uses the concrete GF(2^8) Encoder/Decoder in
+// encoder.hpp/decoder.hpp; this template exists only to measure how coding
+// throughput varies with field size, so it trades a little speed for
+// genericity.
+#pragma once
+
+#include <cassert>
+#include <random>
+#include <vector>
+
+#include "gf/gf_generic.hpp"
+
+namespace ncfn::coding {
+
+template <unsigned M>
+struct GenericCoded {
+  std::vector<typename gf::Field<M>::Elem> coeffs;
+  std::vector<typename gf::Field<M>::Elem> payload;
+};
+
+template <unsigned M>
+class GenericEncoder {
+ public:
+  using Elem = typename gf::Field<M>::Elem;
+
+  GenericEncoder(const gf::Field<M>& field,
+                 std::vector<std::vector<Elem>> blocks)
+      : field_(&field), blocks_(std::move(blocks)) {
+    assert(!blocks_.empty());
+  }
+
+  [[nodiscard]] GenericCoded<M> encode_random(std::mt19937& rng) const {
+    std::uniform_int_distribution<unsigned> dist(0, gf::Field<M>::kMax);
+    GenericCoded<M> out;
+    out.coeffs.assign(blocks_.size(), 0);
+    out.payload.assign(blocks_.front().size(), 0);
+    bool any = false;
+    while (!any) {
+      for (auto& c : out.coeffs) {
+        c = static_cast<Elem>(dist(rng));
+        any = any || c != 0;
+      }
+    }
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      field_->bulk_muladd(std::span<Elem>(out.payload),
+                          std::span<const Elem>(blocks_[i]), out.coeffs[i]);
+    }
+    return out;
+  }
+
+ private:
+  const gf::Field<M>* field_;
+  std::vector<std::vector<Elem>> blocks_;
+};
+
+template <unsigned M>
+class GenericDecoder {
+ public:
+  using Elem = typename gf::Field<M>::Elem;
+
+  GenericDecoder(const gf::Field<M>& field, std::size_t blocks,
+                 std::size_t block_elems)
+      : field_(&field), g_(blocks), block_elems_(block_elems), pivots_(g_) {}
+
+  bool add(GenericCoded<M> pkt) {
+    assert(pkt.coeffs.size() == g_ && pkt.payload.size() == block_elems_);
+    for (std::size_t c = 0; c < g_; ++c) {
+      const Elem lead = pkt.coeffs[c];
+      if (lead == 0) continue;
+      if (pivots_[c].has) {
+        field_->bulk_muladd(std::span<Elem>(pkt.coeffs),
+                            std::span<const Elem>(pivots_[c].coeffs), lead);
+        field_->bulk_muladd(std::span<Elem>(pkt.payload),
+                            std::span<const Elem>(pivots_[c].payload), lead);
+        continue;
+      }
+      if (lead != 1) {
+        const Elem s = field_->inv(lead);
+        scale(pkt.coeffs, s);
+        scale(pkt.payload, s);
+      }
+      pivots_[c].has = true;
+      pivots_[c].coeffs = std::move(pkt.coeffs);
+      pivots_[c].payload = std::move(pkt.payload);
+      ++rank_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] bool complete() const { return rank_ == g_; }
+
+  /// Back-substitute and return the recovered blocks.
+  [[nodiscard]] std::vector<std::vector<Elem>> recover() const {
+    assert(complete());
+    std::vector<std::vector<Elem>> coeffs(g_), payload(g_);
+    for (std::size_t c = 0; c < g_; ++c) {
+      coeffs[c] = pivots_[c].coeffs;
+      payload[c] = pivots_[c].payload;
+    }
+    for (std::size_t c = g_; c-- > 0;) {
+      for (std::size_t r = 0; r < c; ++r) {
+        const Elem f = coeffs[r][c];
+        if (f == 0) continue;
+        field_->bulk_muladd(std::span<Elem>(coeffs[r]),
+                            std::span<const Elem>(coeffs[c]), f);
+        field_->bulk_muladd(std::span<Elem>(payload[r]),
+                            std::span<const Elem>(payload[c]), f);
+      }
+    }
+    return payload;
+  }
+
+ private:
+  struct Row {
+    bool has = false;
+    std::vector<Elem> coeffs;
+    std::vector<Elem> payload;
+  };
+
+  void scale(std::vector<Elem>& v, Elem s) const {
+    for (auto& e : v) e = field_->mul(e, s);
+  }
+
+  const gf::Field<M>* field_;
+  std::size_t g_;
+  std::size_t block_elems_;
+  std::size_t rank_ = 0;
+  std::vector<Row> pivots_;
+};
+
+}  // namespace ncfn::coding

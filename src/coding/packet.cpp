@@ -1,0 +1,52 @@
+#include "coding/packet.hpp"
+
+namespace ncfn::coding {
+
+namespace {
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  return (static_cast<std::uint32_t>(in[at]) << 24) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 8) |
+         static_cast<std::uint32_t>(in[at + 3]);
+}
+}  // namespace
+
+std::vector<std::uint8_t> CodedPacket::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size());
+  put_u32(out, session);
+  put_u32(out, generation);
+  out.insert(out.end(), coeffs.begin(), coeffs.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<CodedPacket> CodedPacket::parse(
+    std::span<const std::uint8_t> wire, const CodingParams& params) {
+  if (wire.size() != params.packet_bytes()) return std::nullopt;
+  CodedPacket pkt;
+  pkt.session = get_u32(wire, 0);
+  pkt.generation = get_u32(wire, 4);
+  const std::size_t g = params.generation_blocks;
+  pkt.coeffs.assign(wire.begin() + 8, wire.begin() + 8 + g);
+  pkt.payload.assign(wire.begin() + 8 + g, wire.end());
+  return pkt;
+}
+
+std::optional<std::size_t> CodedPacket::systematic_index() const {
+  std::optional<std::size_t> idx;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    if (coeffs[i] == 0) continue;
+    if (coeffs[i] != 1 || idx.has_value()) return std::nullopt;
+    idx = i;
+  }
+  return idx;
+}
+
+}  // namespace ncfn::coding

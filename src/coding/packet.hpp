@@ -1,0 +1,50 @@
+// Coded packet and NC header wire format.
+//
+// The paper introduces the network-coding layer between UDP and the
+// application, with a header carrying session id, generation id and the
+// encoding coefficient vector: "a total of 8 bytes plus the length of
+// coefficients, which depends on the number of blocks in each generation".
+//
+// Wire layout (big-endian):
+//   [0..3]  session id
+//   [4..7]  generation id
+//   [8..8+g)  g coefficient bytes (GF(2^8) elements)
+//   [8+g..]   coded block payload
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "coding/types.hpp"
+
+namespace ncfn::coding {
+
+/// One coded block: a linear combination of the blocks of one generation,
+/// tagged with the combination's coefficient vector.
+struct CodedPacket {
+  SessionId session = 0;
+  GenerationId generation = 0;
+  std::vector<std::uint8_t> coeffs;   // length = blocks per generation
+  std::vector<std::uint8_t> payload;  // length = block size
+
+  /// Serialize header + payload to the UDP wire format.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parse a datagram. Returns std::nullopt if the datagram is malformed
+  /// (wrong size for the session's coding parameters).
+  [[nodiscard]] static std::optional<CodedPacket> parse(
+      std::span<const std::uint8_t> wire, const CodingParams& params);
+
+  /// Wire size of this packet.
+  [[nodiscard]] std::size_t wire_size() const {
+    return 8 + coeffs.size() + payload.size();
+  }
+
+  /// True if the coefficient vector is a unit vector (systematic packet
+  /// carrying original block `i`); returns the index if so.
+  [[nodiscard]] std::optional<std::size_t> systematic_index() const;
+};
+
+}  // namespace ncfn::coding

@@ -1,0 +1,44 @@
+// Basic identifiers and coding parameters shared by the data plane.
+//
+// Defaults follow Sec. III.B.1 of the paper: block size 1460 bytes (so a
+// coded block + 12 B NC header + 8 B UDP + 20 B IP fits a 1500 B MTU with
+// 4 blocks per generation), 4 blocks per generation (Fig. 4 shows the
+// throughput peak there), and a FIFO buffer of 1024 generations per
+// session (Fig. 5 shows larger buffers gain little).
+#pragma once
+
+#include <cstdint>
+
+namespace ncfn::coding {
+
+using SessionId = std::uint32_t;
+using GenerationId = std::uint32_t;
+
+inline constexpr std::size_t kDefaultBlockSize = 1460;
+inline constexpr std::size_t kDefaultGenerationBlocks = 4;
+inline constexpr std::size_t kDefaultBufferGenerations = 1024;
+
+/// Per-system coding parameters, distributed to every coding function via
+/// NC_SETTINGS at initialization (the paper assumes the same generation and
+/// block sizes across all sessions).
+struct CodingParams {
+  std::size_t block_size = kDefaultBlockSize;        // bytes per block
+  std::size_t generation_blocks = kDefaultGenerationBlocks;  // blocks per generation
+  std::size_t buffer_generations = kDefaultBufferGenerations;
+
+  /// Payload bytes carried by one full generation.
+  [[nodiscard]] std::size_t generation_bytes() const {
+    return block_size * generation_blocks;
+  }
+  /// NC header length: 8 bytes (session + generation ids) plus one
+  /// coefficient per block in the generation.
+  [[nodiscard]] std::size_t header_bytes() const {
+    return 8 + generation_blocks;
+  }
+  /// Wire size of one coded packet (NC header + one coded block).
+  [[nodiscard]] std::size_t packet_bytes() const {
+    return header_bytes() + block_size;
+  }
+};
+
+}  // namespace ncfn::coding

@@ -1,0 +1,434 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ncfn::ctrl {
+
+namespace {
+constexpr double kObjEps = 1e-6;
+
+bool changed_by_more_than(double old_v, double new_v, double rho) {
+  if (old_v <= 0) return new_v > 0;
+  return std::abs(new_v - old_v) / old_v > rho;
+}
+}  // namespace
+
+Controller::Controller(graph::Topology topo, Config cfg)
+    : topo_(std::move(topo)), cfg_(cfg) {
+  for (graph::NodeIdx v : topo_.data_centers()) pools_[v];  // default pools
+}
+
+DeploymentPlan Controller::solve_with(const SolveOptions& opts) const {
+  DeploymentProblem prob;
+  prob.topo = &topo_;
+  prob.sessions = sessions_;
+  prob.alpha = cfg_.alpha;
+  prob.path_limits = cfg_.path_limits;
+  prob.max_vnfs_per_dc = cfg_.max_vnfs_per_dc;
+  return solve_deployment(prob, opts);
+}
+
+std::set<coding::SessionId> Controller::all_session_ids() const {
+  std::set<coding::SessionId> ids;
+  for (const SessionSpec& s : sessions_) ids.insert(s.id);
+  return ids;
+}
+
+std::set<coding::SessionId> Controller::sessions_using_dc(
+    graph::NodeIdx v) const {
+  std::set<coding::SessionId> out;
+  for (std::size_t m = 0; m < plan_.session_ids.size(); ++m) {
+    for (const auto& [e, rate] : plan_.edge_rate_mbps[m]) {
+      const graph::EdgeInfo& ei = topo_.edge(e);
+      if (ei.from == v || ei.to == v) {
+        out.insert(plan_.session_ids[m]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::set<coding::SessionId> Controller::sessions_using_edge(
+    graph::EdgeIdx e) const {
+  std::set<coding::SessionId> out;
+  for (std::size_t m = 0; m < plan_.session_ids.size(); ++m) {
+    if (plan_.edge_rate_mbps[m].count(e) > 0) {
+      out.insert(plan_.session_ids[m]);
+    }
+  }
+  return out;
+}
+
+std::map<graph::NodeIdx, int> Controller::current_deployment() const {
+  std::map<graph::NodeIdx, int> dep;
+  for (const auto& [v, pool] : pools_) {
+    const int n = pool.running + static_cast<int>(pool.draining.size());
+    if (n > 0) dep[v] = n;
+  }
+  return dep;
+}
+
+int Controller::alive_vnfs() const {
+  return running_vnfs() + draining_vnfs();
+}
+int Controller::running_vnfs() const {
+  int n = 0;
+  for (const auto& [v, pool] : pools_) n += pool.running;
+  return n;
+}
+int Controller::draining_vnfs() const {
+  int n = 0;
+  for (const auto& [v, pool] : pools_) n += static_cast<int>(pool.draining.size());
+  return n;
+}
+int Controller::vnfs_at(graph::NodeIdx v) const {
+  auto it = pools_.find(v);
+  if (it == pools_.end()) return 0;
+  return it->second.running + static_cast<int>(it->second.draining.size());
+}
+
+void Controller::emit(double now_s, std::uint32_t target, Signal s) {
+  signals_.push_back(LoggedSignal{now_s, target, std::move(s)});
+}
+
+ForwardingTable Controller::forwarding_table(graph::NodeIdx node) const {
+  auto it = pushed_tables_.find(node);
+  return it == pushed_tables_.end() ? ForwardingTable{} : it->second;
+}
+
+void Controller::apply_plan(DeploymentPlan next, double now_s) {
+  if (!next.feasible) return;  // keep the old plan; nothing to install
+
+  // ---- Adjust per-DC VNF pools ----
+  for (auto& [v, pool] : pools_) {
+    const auto it = next.vnf_count.find(v);
+    const int want = it == next.vnf_count.end() ? 0 : it->second;
+    // Reuse draining VNFs first (cancel their pending shutdown).
+    while (pool.running < want && !pool.draining.empty()) {
+      pool.draining.pop_back();  // most recently drained: longest grace left
+      ++pool.running;
+      ++vm_reuses_;
+    }
+    if (pool.running < want) {
+      const int launch = want - pool.running;
+      emit(now_s, static_cast<std::uint32_t>(v),
+           NcVnfStart{static_cast<std::uint32_t>(v),
+                      static_cast<std::uint32_t>(launch)});
+      pool.running = want;
+      vm_launches_ += launch;
+    } else if (pool.running > want) {
+      // Excess VNFs: NC_VNF_END now, actual shutdown after tau.
+      const int drain = pool.running - want;
+      for (int i = 0; i < drain; ++i) {
+        pool.draining.push_back(now_s + cfg_.tau_s);
+        emit(now_s, static_cast<std::uint32_t>(v),
+             NcVnfEnd{static_cast<std::uint32_t>(v), cfg_.tau_s});
+      }
+      std::sort(pool.draining.begin(), pool.draining.end());
+      pool.running = want;
+    }
+  }
+
+  // ---- Push forwarding-table updates where routing changed ----
+  // Relay tables for every node that forwards traffic in the new plan.
+  std::map<graph::NodeIdx, ForwardingTable> tables;
+  for (std::size_t m = 0; m < next.session_ids.size(); ++m) {
+    const coding::SessionId sid = next.session_ids[m];
+    const std::uint16_t port = session_data_port(sid);
+    for (const auto& [e, rate] : next.edge_rate_mbps[m]) {
+      const graph::EdgeInfo& ei = topo_.edge(e);
+      (void)rate;
+      auto& tab = tables[ei.from];
+      std::vector<NextHop> hops;
+      if (const auto* existing = tab.find(sid)) hops = *existing;
+      hops.push_back(NextHop{static_cast<std::uint32_t>(ei.to), port});
+      std::sort(hops.begin(), hops.end());
+      tab.set(sid, std::move(hops));
+    }
+  }
+  for (auto& [node, tab] : tables) {
+    auto it = pushed_tables_.find(node);
+    if (it != pushed_tables_.end() && it->second == tab) continue;
+    emit(now_s, static_cast<std::uint32_t>(node), NcForwardTab{tab});
+    pushed_tables_[node] = std::move(tab);
+  }
+  // Nodes that previously had tables but now route nothing get an empty one.
+  for (auto& [node, tab] : pushed_tables_) {
+    if (tables.count(node) == 0 && tab.size() > 0) {
+      emit(now_s, static_cast<std::uint32_t>(node),
+           NcForwardTab{ForwardingTable{}});
+      tab = ForwardingTable{};
+    }
+  }
+
+  plan_ = std::move(next);
+}
+
+void Controller::resolve_all(double now_s) {
+  apply_plan(solve_with(SolveOptions{}), now_s);
+}
+
+// ---------------- Alg. 3: session / receiver churn ----------------
+
+bool Controller::add_session(const SessionSpec& spec, double now_s) {
+  sessions_.push_back(spec);
+
+  // Settings + start signals for the new session's endpoints.
+  NcSettings settings;
+  settings.sessions.push_back(SessionSetting{
+      spec.id, VnfRole::kRecode, session_data_port(spec.id)});
+  emit(now_s, static_cast<std::uint32_t>(spec.source), settings);
+  emit(now_s, static_cast<std::uint32_t>(spec.source), NcStart{spec.id});
+
+  // Solve for the new session only, on top of the current deployment and
+  // the existing sessions' flows.
+  SolveOptions opts;
+  opts.frozen_sessions = all_session_ids();
+  opts.frozen_sessions.erase(spec.id);
+  opts.previous = &plan_;
+  opts.vnf_floor = current_deployment();
+  DeploymentPlan next = solve_with(opts);
+  if (!next.feasible) {
+    sessions_.pop_back();
+    return false;
+  }
+  // A fixed-rate session that cannot reach all receivers is rejected.
+  if (spec.fixed_rate_mbps) {
+    const auto m = next.session_index(spec.id);
+    if (!m || next.lambda_mbps[*m] + kObjEps < *spec.fixed_rate_mbps) {
+      sessions_.pop_back();
+      return false;
+    }
+  }
+  apply_plan(std::move(next), now_s);
+  return true;
+}
+
+void Controller::remove_session(coding::SessionId id, double now_s) {
+  auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                         [&](const SessionSpec& s) { return s.id == id; });
+  if (it == sessions_.end()) return;
+  sessions_.erase(it);
+
+  if (sessions_.empty()) {
+    apply_plan(solve_with(SolveOptions{}), now_s);
+    return;
+  }
+
+  // g1: keep the deployment, let remaining flows grow into freed capacity.
+  SolveOptions o1;
+  o1.vnf_fixed = current_deployment();
+  const DeploymentPlan g1 = solve_with(o1);
+
+  // g2: keep the remaining flows, shrink the deployment.
+  SolveOptions o2;
+  o2.frozen_sessions = all_session_ids();
+  o2.previous = &plan_;
+  const DeploymentPlan g2 = solve_with(o2);
+
+  if (g1.feasible && (!g2.feasible || g1.objective > g2.objective + kObjEps)) {
+    apply_plan(g1, now_s);
+  } else if (g2.feasible) {
+    apply_plan(g2, now_s);
+  }
+}
+
+bool Controller::add_receiver(coding::SessionId id, graph::NodeIdx receiver,
+                              double now_s) {
+  auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                         [&](const SessionSpec& s) { return s.id == id; });
+  if (it == sessions_.end()) return false;
+  it->receivers.push_back(receiver);
+
+  SolveOptions opts;
+  opts.frozen_sessions = all_session_ids();
+  opts.frozen_sessions.erase(id);
+  opts.previous = &plan_;
+  opts.vnf_floor = current_deployment();
+  DeploymentPlan next = solve_with(opts);
+  if (!next.feasible) {
+    it->receivers.pop_back();
+    return false;
+  }
+  apply_plan(std::move(next), now_s);
+  return true;
+}
+
+void Controller::remove_receiver(coding::SessionId id,
+                                 graph::NodeIdx receiver, double now_s) {
+  auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                         [&](const SessionSpec& s) { return s.id == id; });
+  if (it == sessions_.end()) return;
+  auto rit = std::find(it->receivers.begin(), it->receivers.end(), receiver);
+  if (rit == it->receivers.end()) return;
+  it->receivers.erase(rit);
+
+  if (it->receivers.empty()) {
+    remove_session(id, now_s);
+    return;
+  }
+  // Re-solve the affected session with the shrunk receiver set; the
+  // deployment may shrink (VNFs drain via tau).
+  SolveOptions opts;
+  opts.frozen_sessions = all_session_ids();
+  opts.frozen_sessions.erase(id);
+  opts.previous = &plan_;
+  DeploymentPlan next = solve_with(opts);
+  if (next.feasible) apply_plan(std::move(next), now_s);
+}
+
+// ---------------- Alg. 1: bandwidth variation ----------------
+
+void Controller::report_bandwidth(graph::NodeIdx v, double bin_bps,
+                                  double bout_bps, double now_s) {
+  if (!scaling_enabled_) return;
+  const graph::NodeInfo& ni = topo_.node(v);
+  const bool significant = changed_by_more_than(ni.bin_bps, bin_bps, cfg_.rho1) ||
+                           changed_by_more_than(ni.bout_bps, bout_bps, cfg_.rho1);
+  if (!significant) {
+    pending_bw_.erase(v);  // brief spike ended
+    return;
+  }
+  auto it = pending_bw_.find(v);
+  if (it == pending_bw_.end()) {
+    pending_bw_[v] = PendingBandwidth{bin_bps, bout_bps, now_s};
+    return;
+  }
+  it->second.bin_bps = bin_bps;
+  it->second.bout_bps = bout_bps;
+  if (now_s - it->second.since_s >= cfg_.tau1_s) {
+    const PendingBandwidth pb = it->second;
+    pending_bw_.erase(it);
+    apply_bandwidth_change(v, pb, now_s);
+  }
+}
+
+void Controller::apply_bandwidth_change(graph::NodeIdx v,
+                                        const PendingBandwidth& pb,
+                                        double now_s) {
+  topo_.node(v).bin_bps = pb.bin_bps;
+  topo_.node(v).bout_bps = pb.bout_bps;
+
+  // Freeze flows of sessions not touching the affected data center.
+  std::set<coding::SessionId> frozen = all_session_ids();
+  for (coding::SessionId id : sessions_using_dc(v)) frozen.erase(id);
+
+  // Candidate: allow scale-out on top of the current deployment.
+  SolveOptions grow;
+  grow.frozen_sessions = frozen;
+  grow.previous = &plan_;
+  grow.vnf_floor = current_deployment();
+  const DeploymentPlan g = solve_with(grow);
+
+  // Fallback: keep the deployment fixed, reroute/shrink flows only.
+  SolveOptions keep;
+  keep.frozen_sessions = frozen;
+  keep.previous = &plan_;
+  keep.vnf_fixed = current_deployment();
+  const DeploymentPlan kept = solve_with(keep);
+
+  if (g.feasible &&
+      (!kept.feasible || g.objective > kept.objective + kObjEps)) {
+    apply_plan(g, now_s);
+  } else if (kept.feasible) {
+    apply_plan(kept, now_s);
+  }
+}
+
+// ---------------- Alg. 2: delay changes ----------------
+
+void Controller::report_delay(graph::EdgeIdx e, double delay_s,
+                              double now_s) {
+  if (!scaling_enabled_) return;
+  const graph::EdgeInfo& ei = topo_.edge(e);
+  if (!changed_by_more_than(ei.delay_s, delay_s, cfg_.rho2)) {
+    pending_delay_.erase(e);
+    return;
+  }
+  auto it = pending_delay_.find(e);
+  if (it == pending_delay_.end()) {
+    pending_delay_[e] = PendingDelay{delay_s, now_s};
+    return;
+  }
+  it->second.delay_s = delay_s;
+  if (now_s - it->second.since_s >= cfg_.tau2_s) {
+    const PendingDelay pd = it->second;
+    pending_delay_.erase(it);
+    apply_delay_change(e, pd, now_s);
+  }
+}
+
+void Controller::apply_delay_change(graph::EdgeIdx e, const PendingDelay& pd,
+                                    double now_s) {
+  const bool increased = pd.delay_s > topo_.edge(e).delay_s;
+  topo_.edge(e).delay_s = pd.delay_s;
+
+  std::set<coding::SessionId> frozen;
+  if (increased) {
+    // Only sessions routed over e are affected; their path sets shrink.
+    frozen = all_session_ids();
+    for (coding::SessionId id : sessions_using_edge(e)) frozen.erase(id);
+  }
+  // A delay decrease expands every session's feasible path set, so nothing
+  // is frozen and all sessions may benefit.
+  SolveOptions opts;
+  opts.frozen_sessions = frozen;
+  opts.previous = &plan_;
+  opts.vnf_floor = current_deployment();
+  DeploymentPlan next = solve_with(opts);
+  if (next.feasible) apply_plan(std::move(next), now_s);
+}
+
+// ---------------- housekeeping ----------------
+
+void Controller::tick(double now_s) {
+  // Apply pending measurement changes whose persistence requirement has
+  // been met even if no fresh report arrived exactly at the deadline.
+  for (auto it = pending_bw_.begin(); it != pending_bw_.end();) {
+    if (now_s - it->second.since_s >= cfg_.tau1_s) {
+      const auto v = it->first;
+      const PendingBandwidth pb = it->second;
+      it = pending_bw_.erase(it);
+      apply_bandwidth_change(v, pb, now_s);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_delay_.begin(); it != pending_delay_.end();) {
+    if (now_s - it->second.since_s >= cfg_.tau2_s) {
+      const auto e = it->first;
+      const PendingDelay pd = it->second;
+      it = pending_delay_.erase(it);
+      apply_delay_change(e, pd, now_s);
+    } else {
+      ++it;
+    }
+  }
+  // Expire draining VNFs whose grace period ended.
+  for (auto& [v, pool] : pools_) {
+    while (!pool.draining.empty() && pool.draining.front() <= now_s) {
+      pool.draining.pop_front();
+    }
+  }
+  // Consolidation: if the plan needs fewer VNFs than are running at a DC,
+  // drain the excess (traffic re-steering happens implicitly because the
+  // plan's flow rates already fit the smaller pool).
+  if (scaling_enabled_) {
+    for (auto& [v, pool] : pools_) {
+      const auto it = plan_.vnf_count.find(v);
+      const int want = it == plan_.vnf_count.end() ? 0 : it->second;
+      while (pool.running > want) {
+        pool.draining.push_back(now_s + cfg_.tau_s);
+        emit(now_s, static_cast<std::uint32_t>(v),
+             NcVnfEnd{static_cast<std::uint32_t>(v), cfg_.tau_s});
+        --pool.running;
+      }
+      std::sort(pool.draining.begin(), pool.draining.end());
+    }
+  }
+}
+
+}  // namespace ncfn::ctrl

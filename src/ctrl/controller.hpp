@@ -1,0 +1,168 @@
+// The central controller (Sec. III.A + Sec. IV.B).
+//
+// Owns the controller-side view of the overlay (topology with measured
+// bandwidths/delays), the set of multicast sessions, the current
+// deployment plan, and the per-DC VNF pools. Implements the paper's
+// dynamic algorithms:
+//
+//   Alg. 1  Bandwidth variation — a per-VM bandwidth change > rho1 % that
+//           persists for tau1 triggers an incremental re-solve of (2) with
+//           unaffected sessions' flows frozen; scale-out happens only if
+//           the re-solved objective beats keeping the current deployment.
+//   Alg. 2  Delay changes — a link-delay change > rho2 % persisting for
+//           tau2 updates the feasible path sets and re-solves.
+//   Alg. 3  Session/receiver arrivals and departures — joins solve for the
+//           new demand only (existing flows frozen, deployment as floor);
+//           quits compare "grow flows into freed capacity" against
+//           "shut down now-redundant VNFs" by objective value.
+//
+// VNF lifecycle: a VNF ordered to stop (NC_VNF_END) keeps running for tau
+// seconds and is reused in preference to launching a new VM if demand
+// returns — the paper measured VM launch at ~35 s versus ~376 ms for
+// starting a coding function on a live VM.
+//
+// Every decision is exposed through a signal log (the NC_* messages of
+// Sec. III.A) so daemons — or tests — can replay exactly what the
+// controller ordered.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ctrl/problem.hpp"
+#include "ctrl/signals.hpp"
+#include "graph/topology.hpp"
+
+namespace ncfn::ctrl {
+
+/// UDP data port used for a session's coded traffic.
+[[nodiscard]] inline std::uint16_t session_data_port(coding::SessionId id) {
+  return static_cast<std::uint16_t>(20000 + id % 20000);
+}
+
+class Controller {
+ public:
+  struct Config {
+    double alpha = 20.0;  // Mbps-equivalent cost per VNF
+    double rho1 = 0.05;   // bandwidth-change threshold (fraction)
+    double rho2 = 0.05;   // delay-change threshold (fraction)
+    double tau_s = 600.0;   // idle-VNF grace period before shutdown
+    double tau1_s = 600.0;  // bandwidth-change persistence requirement
+    double tau2_s = 600.0;  // delay-change persistence requirement
+    graph::PathSearchLimits path_limits;
+    int max_vnfs_per_dc = 64;
+  };
+
+  struct LoggedSignal {
+    double at_s;
+    std::uint32_t target_node;  // daemon's node (DC idx), or controller
+    Signal signal;
+  };
+
+  Controller(graph::Topology topo, Config cfg);
+
+  // ---- Session management (Alg. 3) ----
+  /// SESSION JOIN. Returns false if the session could not be admitted
+  /// (e.g., no feasible path for a fixed-rate session).
+  bool add_session(const SessionSpec& spec, double now_s);
+  /// SESSION QUIT.
+  void remove_session(coding::SessionId id, double now_s);
+  /// RECEIVER JOIN/QUIT on an existing session.
+  bool add_receiver(coding::SessionId id, graph::NodeIdx receiver,
+                    double now_s);
+  void remove_receiver(coding::SessionId id, graph::NodeIdx receiver,
+                       double now_s);
+
+  // ---- Measurement reports (Algs. 1 & 2) ----
+  /// Per-VM in/out bandwidth measured at data center v (the iperf3 probe).
+  void report_bandwidth(graph::NodeIdx v, double bin_bps, double bout_bps,
+                        double now_s);
+  /// One-way delay measured on edge e (the ping probe).
+  void report_delay(graph::EdgeIdx e, double delay_s, double now_s);
+
+  /// Periodic housekeeping: applies measurement changes that persisted past
+  /// tau1/tau2, expires draining VNFs, consolidates under-utilized ones.
+  void tick(double now_s);
+
+  // ---- Introspection ----
+  [[nodiscard]] const DeploymentPlan& plan() const { return plan_; }
+  [[nodiscard]] const graph::Topology& topology() const { return topo_; }
+  [[nodiscard]] const std::vector<SessionSpec>& sessions() const {
+    return sessions_;
+  }
+  [[nodiscard]] double total_throughput_mbps() const {
+    return plan_.total_throughput_mbps();
+  }
+  /// VNFs currently alive (running + draining within their tau window).
+  [[nodiscard]] int alive_vnfs() const;
+  [[nodiscard]] int running_vnfs() const;
+  [[nodiscard]] int draining_vnfs() const;
+  [[nodiscard]] int vnfs_at(graph::NodeIdx v) const;
+  /// Cumulative count of VM launches actually performed (reuse avoids them).
+  [[nodiscard]] int vm_launches() const { return vm_launches_; }
+  [[nodiscard]] int vm_reuses() const { return vm_reuses_; }
+
+  [[nodiscard]] const std::vector<LoggedSignal>& signal_log() const {
+    return signals_;
+  }
+  /// Forwarding table most recently pushed to a node (empty if none).
+  [[nodiscard]] ForwardingTable forwarding_table(graph::NodeIdx node) const;
+
+  /// Disable/enable the scaling machinery (used by the Lmax sweep, which
+  /// the paper runs "disabling the scaling algorithm").
+  void set_scaling_enabled(bool enabled) { scaling_enabled_ = enabled; }
+
+  /// Force a full re-solve of (2) from scratch (initial deployment or
+  /// evaluation sweeps).
+  void resolve_all(double now_s);
+
+ private:
+  struct VnfPool {
+    int running = 0;
+    std::deque<double> draining;  // shutdown deadlines, soonest first
+  };
+  struct PendingBandwidth {
+    double bin_bps, bout_bps;
+    double since_s;
+  };
+  struct PendingDelay {
+    double delay_s;
+    double since_s;
+  };
+
+  DeploymentPlan solve_with(const SolveOptions& opts) const;
+  /// Sessions whose current plan touches data center v.
+  [[nodiscard]] std::set<coding::SessionId> sessions_using_dc(
+      graph::NodeIdx v) const;
+  [[nodiscard]] std::set<coding::SessionId> sessions_using_edge(
+      graph::EdgeIdx e) const;
+  [[nodiscard]] std::set<coding::SessionId> all_session_ids() const;
+  [[nodiscard]] std::map<graph::NodeIdx, int> current_deployment() const;
+
+  /// Install `next` as the active plan: adjust pools (reuse draining VNFs,
+  /// launch, or begin draining), emit NC_* signals, push table updates.
+  void apply_plan(DeploymentPlan next, double now_s);
+  void emit(double now_s, std::uint32_t target, Signal s);
+  void apply_bandwidth_change(graph::NodeIdx v, const PendingBandwidth& pb,
+                              double now_s);
+  void apply_delay_change(graph::EdgeIdx e, const PendingDelay& pd,
+                          double now_s);
+
+  graph::Topology topo_;
+  Config cfg_;
+  std::vector<SessionSpec> sessions_;
+  DeploymentPlan plan_;
+  std::map<graph::NodeIdx, VnfPool> pools_;
+  std::map<graph::NodeIdx, PendingBandwidth> pending_bw_;
+  std::map<graph::EdgeIdx, PendingDelay> pending_delay_;
+  std::map<graph::NodeIdx, ForwardingTable> pushed_tables_;
+  std::vector<LoggedSignal> signals_;
+  bool scaling_enabled_ = true;
+  int vm_launches_ = 0;
+  int vm_reuses_ = 0;
+};
+
+}  // namespace ncfn::ctrl

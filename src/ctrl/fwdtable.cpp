@@ -1,0 +1,71 @@
+#include "ctrl/fwdtable.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace ncfn::ctrl {
+
+namespace {
+bool parse_u32(std::string_view s, std::uint32_t& out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+bool parse_u16(std::string_view s, std::uint16_t& out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+}  // namespace
+
+std::string ForwardingTable::serialize() const {
+  std::ostringstream out;
+  out << "# ncfn forwarding table: session next-hop[,next-hop...]\n";
+  for (const auto& [session, hops] : entries_) {
+    out << session;
+    for (const NextHop& h : hops) out << ' ' << h.node << ':' << h.port;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::optional<ForwardingTable> ForwardingTable::parse(
+    const std::string& text) {
+  ForwardingTable tab;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok)) continue;
+    std::uint32_t session = 0;
+    if (!parse_u32(tok, session)) return std::nullopt;
+    std::vector<NextHop> hops;
+    while (ls >> tok) {
+      const auto colon = tok.find(':');
+      if (colon == std::string::npos) return std::nullopt;
+      NextHop h;
+      if (!parse_u32(std::string_view(tok).substr(0, colon), h.node) ||
+          !parse_u16(std::string_view(tok).substr(colon + 1), h.port)) {
+        return std::nullopt;
+      }
+      hops.push_back(h);
+    }
+    tab.set(session, std::move(hops));
+  }
+  return tab;
+}
+
+std::size_t ForwardingTable::diff_entries(const ForwardingTable& a,
+                                          const ForwardingTable& b) {
+  std::size_t diff = 0;
+  for (const auto& [session, hops] : a.entries_) {
+    const auto* other = b.find(session);
+    if (other == nullptr || *other != hops) ++diff;
+  }
+  for (const auto& [session, hops] : b.entries_) {
+    if (a.find(session) == nullptr) ++diff;
+  }
+  return diff;
+}
+
+}  // namespace ncfn::ctrl

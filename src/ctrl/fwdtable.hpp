@@ -1,0 +1,71 @@
+// Forwarding table (Sec. III.A).
+//
+// "The forwarding table is a text file, recording the next hops' IP
+// addresses for each relevant multicast session the coding function
+// belongs to."  We keep the text format: one line per session,
+//
+//     <session-id> <node>:<port>[ <node>:<port> ...]
+//
+// where <node> is the overlay node id (the simulator's stand-in for an IP
+// address). Lines starting with '#' are comments. apply() on a daemon
+// parses the file, pauses the coding function, installs the new table and
+// resumes — mirroring the SIGUSR1 pause/resume dance in the paper; the
+// pause cost is what Table III measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coding/types.hpp"
+
+namespace ncfn::ctrl {
+
+struct NextHop {
+  std::uint32_t node = 0;  // netsim::NodeId
+  std::uint16_t port = 0;
+  bool operator==(const NextHop&) const = default;
+  auto operator<=>(const NextHop&) const = default;
+};
+
+class ForwardingTable {
+ public:
+  ForwardingTable() = default;
+
+  void set(coding::SessionId session, std::vector<NextHop> hops) {
+    entries_[session] = std::move(hops);
+  }
+  void erase(coding::SessionId session) { entries_.erase(session); }
+
+  [[nodiscard]] const std::vector<NextHop>* find(
+      coding::SessionId session) const {
+    auto it = entries_.find(session);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::map<coding::SessionId, std::vector<NextHop>>&
+  entries() const {
+    return entries_;
+  }
+
+  /// Render to the text-file format.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parse the text-file format; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<ForwardingTable> parse(
+      const std::string& text);
+
+  /// Number of entries that differ between two tables (used to compute the
+  /// "update percentage" of Table III).
+  [[nodiscard]] static std::size_t diff_entries(const ForwardingTable& a,
+                                                const ForwardingTable& b);
+
+  bool operator==(const ForwardingTable&) const = default;
+
+ private:
+  std::map<coding::SessionId, std::vector<NextHop>> entries_;
+};
+
+}  // namespace ncfn::ctrl

@@ -1,0 +1,151 @@
+#include "ctrl/signals.hpp"
+
+#include <sstream>
+
+namespace ncfn::ctrl {
+
+std::string to_string(VnfRole role) {
+  switch (role) {
+    case VnfRole::kForward:
+      return "forward";
+    case VnfRole::kRecode:
+      return "recode";
+    case VnfRole::kDecode:
+      return "decode";
+  }
+  return "forward";
+}
+
+std::optional<VnfRole> role_from_string(std::string_view s) {
+  if (s == "forward") return VnfRole::kForward;
+  if (s == "recode") return VnfRole::kRecode;
+  if (s == "decode") return VnfRole::kDecode;
+  return std::nullopt;
+}
+
+namespace {
+
+struct SerializeVisitor {
+  std::ostringstream& out;
+
+  void operator()(const NcStart& s) const {
+    out << "NC_START\nsession " << s.session << '\n';
+  }
+  void operator()(const NcVnfStart& s) const {
+    out << "NC_VNF_START\ndatacenter " << s.datacenter << "\ncount "
+        << s.count << '\n';
+  }
+  void operator()(const NcVnfEnd& s) const {
+    out << "NC_VNF_END\nvnf " << s.vnf_id << "\ntau " << s.tau_s << '\n';
+  }
+  void operator()(const NcForwardTab& s) const {
+    out << "NC_FORWARD_TAB\n";
+    // The table's own text format, minus comment lines, prefixed per line.
+    std::istringstream in(s.table.serialize());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      out << "tab " << line << '\n';
+    }
+  }
+  void operator()(const NcSettings& s) const {
+    out << "NC_SETTINGS\ngeneration_blocks " << s.generation_blocks
+        << "\nblock_size " << s.block_size << '\n';
+    for (const SessionSetting& ss : s.sessions) {
+      out << "session " << ss.session << ' ' << to_string(ss.role) << ' '
+          << ss.udp_port << '\n';
+    }
+  }
+};
+
+}  // namespace
+
+std::string serialize(const Signal& s) {
+  std::ostringstream out;
+  std::visit(SerializeVisitor{out}, s);
+  out << "END\n";
+  return out.str();
+}
+
+std::optional<Signal> parse_signal(const std::string& text) {
+  std::istringstream in(text);
+  std::string kind;
+  if (!std::getline(in, kind)) return std::nullopt;
+
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string line;
+  bool terminated = false;
+  while (std::getline(in, line)) {
+    if (line == "END") {
+      terminated = true;
+      break;
+    }
+    const auto space = line.find(' ');
+    if (space == std::string::npos) return std::nullopt;
+    fields.emplace_back(line.substr(0, space), line.substr(space + 1));
+  }
+  if (!terminated) return std::nullopt;
+
+  auto field = [&](const std::string& key) -> std::optional<std::string> {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  };
+
+  try {
+    if (kind == "NC_START") {
+      auto v = field("session");
+      if (!v) return std::nullopt;
+      return NcStart{static_cast<coding::SessionId>(std::stoul(*v))};
+    }
+    if (kind == "NC_VNF_START") {
+      auto dc = field("datacenter");
+      auto count = field("count");
+      if (!dc || !count) return std::nullopt;
+      return NcVnfStart{static_cast<std::uint32_t>(std::stoul(*dc)),
+                        static_cast<std::uint32_t>(std::stoul(*count))};
+    }
+    if (kind == "NC_VNF_END") {
+      auto vnf = field("vnf");
+      auto tau = field("tau");
+      if (!vnf || !tau) return std::nullopt;
+      return NcVnfEnd{static_cast<std::uint32_t>(std::stoul(*vnf)),
+                      std::stod(*tau)};
+    }
+    if (kind == "NC_FORWARD_TAB") {
+      std::string table_text;
+      for (const auto& [k, v] : fields) {
+        if (k == "tab") table_text += v + '\n';
+      }
+      auto tab = ForwardingTable::parse(table_text);
+      if (!tab) return std::nullopt;
+      return NcForwardTab{std::move(*tab)};
+    }
+    if (kind == "NC_SETTINGS") {
+      NcSettings s;
+      auto gb = field("generation_blocks");
+      auto bs = field("block_size");
+      if (!gb || !bs) return std::nullopt;
+      s.generation_blocks = static_cast<std::uint32_t>(std::stoul(*gb));
+      s.block_size = static_cast<std::uint32_t>(std::stoul(*bs));
+      for (const auto& [k, v] : fields) {
+        if (k != "session") continue;
+        std::istringstream fs(v);
+        std::string id, role, port;
+        if (!(fs >> id >> role >> port)) return std::nullopt;
+        auto r = role_from_string(role);
+        if (!r) return std::nullopt;
+        s.sessions.push_back(SessionSetting{
+            static_cast<coding::SessionId>(std::stoul(id)), *r,
+            static_cast<std::uint16_t>(std::stoul(port))});
+      }
+      return s;
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ncfn::ctrl

@@ -1,0 +1,73 @@
+// Control-plane signals (Sec. III.A).
+//
+// The controller drives daemons with five message types:
+//   NC_START        — begin network-coding-enabled transmission
+//   NC_VNF_START    — launch N new VNFs (VMs) in a data center
+//   NC_VNF_END      — a VNF is no longer used; shut down after tau
+//   NC_FORWARD_TAB  — replace a daemon's forwarding table
+//   NC_SETTINGS     — roles, session ids, UDP ports, generation/block sizes
+//
+// Messages serialize to a line-oriented text wire format so the control
+// plane can be carried over the simulated network like any other traffic
+// (and so parse/serialize round-trips are testable).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "coding/types.hpp"
+#include "ctrl/fwdtable.hpp"
+
+namespace ncfn::ctrl {
+
+enum class VnfRole : std::uint8_t {
+  kForward = 0,  // pass packets through unchanged
+  kRecode = 1,   // pipelined re-encoding relay
+  kDecode = 2,   // decode and deliver to the local application
+};
+
+[[nodiscard]] std::string to_string(VnfRole role);
+[[nodiscard]] std::optional<VnfRole> role_from_string(std::string_view s);
+
+struct NcStart {
+  coding::SessionId session = 0;
+};
+
+struct NcVnfStart {
+  std::uint32_t datacenter = 0;  // graph NodeIdx of the DC
+  std::uint32_t count = 1;       // number of new VNFs (VMs)
+};
+
+struct NcVnfEnd {
+  std::uint32_t vnf_id = 0;
+  double tau_s = 600.0;  // shut down after tau unless reused
+};
+
+struct NcForwardTab {
+  ForwardingTable table;
+};
+
+struct SessionSetting {
+  coding::SessionId session = 0;
+  VnfRole role = VnfRole::kForward;
+  std::uint16_t udp_port = 0;
+};
+
+struct NcSettings {
+  std::vector<SessionSetting> sessions;
+  std::uint32_t generation_blocks = coding::kDefaultGenerationBlocks;
+  std::uint32_t block_size = coding::kDefaultBlockSize;
+};
+
+using Signal =
+    std::variant<NcStart, NcVnfStart, NcVnfEnd, NcForwardTab, NcSettings>;
+
+/// Text wire format: first line is the signal name, following lines are
+/// the payload; terminated by a line containing only "END".
+[[nodiscard]] std::string serialize(const Signal& s);
+[[nodiscard]] std::optional<Signal> parse_signal(const std::string& text);
+
+}  // namespace ncfn::ctrl

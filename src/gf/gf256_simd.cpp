@@ -1,0 +1,117 @@
+#include "gf/gf256_simd.hpp"
+
+#include "gf/gf256.hpp"
+
+#if defined(__SSSE3__)
+#include <tmmintrin.h>
+#define NCFN_HAVE_SSSE3 1
+#else
+#define NCFN_HAVE_SSSE3 0
+#endif
+
+namespace ncfn::gf::simd {
+
+#if NCFN_HAVE_SSSE3
+
+namespace {
+
+/// Per-coefficient nibble product tables: lo[c][x] = c * x,
+/// hi[c][x] = c * (x << 4), each 16 bytes — PSHUFB operands.
+struct NibbleTables {
+  alignas(16) std::uint8_t lo[256][16];
+  alignas(16) std::uint8_t hi[256][16];
+};
+
+const NibbleTables& nibble_tables() noexcept {
+  static const NibbleTables t = [] {
+    NibbleTables nt{};
+    for (int c = 0; c < 256; ++c) {
+      for (int x = 0; x < 16; ++x) {
+        nt.lo[c][x] = mul(static_cast<u8>(c), static_cast<u8>(x));
+        nt.hi[c][x] = mul(static_cast<u8>(c), static_cast<u8>(x << 4));
+      }
+    }
+    return nt;
+  }();
+  return t;
+}
+
+}  // namespace
+
+bool available() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("ssse3") != 0;
+#else
+  return true;  // built with SSSE3: assume the target can run it
+#endif
+}
+
+void bulk_muladd(std::span<std::uint8_t> dst,
+                 std::span<const std::uint8_t> src, std::uint8_t c) noexcept {
+  if (c == 0) return;
+  const NibbleTables& nt = nibble_tables();
+  const __m128i lo_tab =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
+  const __m128i hi_tab =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  const std::size_t n = dst.size();
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&src[i]));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&dst[i]));
+    const __m128i lo = _mm_shuffle_epi8(lo_tab, _mm_and_si128(s, mask));
+    const __m128i hi = _mm_shuffle_epi8(
+        hi_tab, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    const __m128i prod = _mm_xor_si128(lo, hi);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&dst[i]),
+                     _mm_xor_si128(d, prod));
+  }
+  // Scalar tail.
+  const std::uint8_t* row = detail::tables().mul[c];
+  for (; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void bulk_mul(std::span<std::uint8_t> dst, std::uint8_t c) noexcept {
+  if (c == 1) return;
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  const NibbleTables& nt = nibble_tables();
+  const __m128i lo_tab =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
+  const __m128i hi_tab =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  const std::size_t n = dst.size();
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&dst[i]));
+    const __m128i lo = _mm_shuffle_epi8(lo_tab, _mm_and_si128(d, mask));
+    const __m128i hi = _mm_shuffle_epi8(
+        hi_tab, _mm_and_si128(_mm_srli_epi64(d, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&dst[i]),
+                     _mm_xor_si128(lo, hi));
+  }
+  const std::uint8_t* row = detail::tables().mul[c];
+  for (; i < n; ++i) dst[i] = row[dst[i]];
+}
+
+#else  // !NCFN_HAVE_SSSE3
+
+bool available() noexcept { return false; }
+
+void bulk_muladd(std::span<std::uint8_t>, std::span<const std::uint8_t>,
+                 std::uint8_t) noexcept {}
+
+void bulk_mul(std::span<std::uint8_t>, std::uint8_t) noexcept {}
+
+#endif
+
+}  // namespace ncfn::gf::simd

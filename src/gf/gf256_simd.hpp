@@ -1,0 +1,31 @@
+// SIMD kernels for the GF(2^8) hot path.
+//
+// The classic PSHUFB technique (used by Kodo, ISA-L, etc.): split every
+// source byte into nibbles and resolve c*x through two 16-entry lookup
+// tables with a byte shuffle, processing 16 bytes per instruction. The
+// per-coefficient tables (16 B low-nibble + 16 B high-nibble products)
+// are precomputed for all 256 coefficients at startup (8 KiB total).
+//
+// The public entry points in gf256.hpp dispatch here automatically when
+// the build has SSSE3 support and the CPU reports it; everything falls
+// back to the scalar table kernels otherwise, so results are identical
+// on every platform (tests assert bit-equality).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ncfn::gf::simd {
+
+/// True if this build and CPU can run the SSSE3 kernels.
+[[nodiscard]] bool available() noexcept;
+
+/// dst[i] ^= c * src[i]; preconditions as gf::bulk_muladd. Only call when
+/// available() is true.
+void bulk_muladd(std::span<std::uint8_t> dst,
+                 std::span<const std::uint8_t> src, std::uint8_t c) noexcept;
+
+/// dst[i] = c * dst[i]; only call when available() is true.
+void bulk_mul(std::span<std::uint8_t> dst, std::uint8_t c) noexcept;
+
+}  // namespace ncfn::gf::simd

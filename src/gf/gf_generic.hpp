@@ -1,0 +1,120 @@
+// Generic GF(2^m) for the field-size ablation (Sec. III.B.1 cites prior
+// work observing that GF(2^8) maximizes throughput among field sizes; the
+// ablation bench reproduces that comparison with GF(2^4), GF(2^8) and
+// GF(2^16)).
+//
+// GF(2^4) and GF(2^8) use full product tables; GF(2^16) uses log/exp
+// (a 2^32-entry product table would not be cache-resident, which is itself
+// part of why large fields lose the throughput comparison).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace ncfn::gf {
+
+template <unsigned M>
+struct FieldTraits;
+
+template <>
+struct FieldTraits<4> {
+  using Elem = std::uint8_t;
+  static constexpr unsigned kPoly = 0x13;  // x^4 + x + 1
+  static constexpr bool kUseMulTable = true;
+};
+template <>
+struct FieldTraits<8> {
+  using Elem = std::uint8_t;
+  static constexpr unsigned kPoly = 0x11D;  // x^8 + x^4 + x^3 + x^2 + 1
+  static constexpr bool kUseMulTable = true;
+};
+template <>
+struct FieldTraits<16> {
+  using Elem = std::uint16_t;
+  static constexpr unsigned kPoly = 0x1100B;  // x^16 + x^12 + x^3 + x + 1
+  static constexpr bool kUseMulTable = false;
+};
+
+/// Arithmetic in GF(2^M), M in {4, 8, 16}.
+template <unsigned M>
+class Field {
+ public:
+  using Elem = typename FieldTraits<M>::Elem;
+  static constexpr unsigned kOrder = 1u << M;   // field size q
+  static constexpr Elem kMax = static_cast<Elem>(kOrder - 1);
+
+  Field() { build(); }
+
+  [[nodiscard]] static constexpr Elem add(Elem a, Elem b) noexcept {
+    return static_cast<Elem>(a ^ b);
+  }
+
+  [[nodiscard]] Elem mul(Elem a, Elem b) const noexcept {
+    if constexpr (FieldTraits<M>::kUseMulTable) {
+      return mul_table_[static_cast<std::size_t>(a) * kOrder + b];
+    } else {
+      if (a == 0 || b == 0) return 0;
+      return exp_[(static_cast<unsigned>(log_[a]) + log_[b]) % (kOrder - 1)];
+    }
+  }
+
+  [[nodiscard]] Elem inv(Elem a) const noexcept {
+    assert(a != 0);
+    return exp_[(kOrder - 1) - log_[a]];
+  }
+
+  [[nodiscard]] Elem div(Elem a, Elem b) const noexcept {
+    return mul(a, inv(b));
+  }
+
+  /// dst[i] ^= c * src[i] over element buffers.
+  void bulk_muladd(std::span<Elem> dst, std::span<const Elem> src,
+                   Elem c) const noexcept {
+    assert(dst.size() == src.size());
+    if (c == 0) return;
+    if constexpr (FieldTraits<M>::kUseMulTable) {
+      const Elem* row = &mul_table_[static_cast<std::size_t>(c) * kOrder];
+      for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+    } else {
+      const unsigned lc = log_[c];
+      for (std::size_t i = 0; i < dst.size(); ++i) {
+        if (src[i] != 0) {
+          dst[i] ^= exp_[(lc + log_[src[i]]) % (kOrder - 1)];
+        }
+      }
+    }
+  }
+
+ private:
+  void build() {
+    exp_.resize(kOrder);
+    log_.resize(kOrder);
+    unsigned x = 1;
+    for (unsigned i = 0; i < kOrder - 1; ++i) {
+      exp_[i] = static_cast<Elem>(x);
+      log_[x] = static_cast<std::uint32_t>(i);
+      x <<= 1;
+      if (x & kOrder) x ^= FieldTraits<M>::kPoly;
+    }
+    exp_[kOrder - 1] = exp_[0];
+    if constexpr (FieldTraits<M>::kUseMulTable) {
+      mul_table_.assign(static_cast<std::size_t>(kOrder) * kOrder, 0);
+      for (unsigned a = 1; a < kOrder; ++a) {
+        for (unsigned b = 1; b < kOrder; ++b) {
+          mul_table_[static_cast<std::size_t>(a) * kOrder + b] =
+              exp_[(static_cast<unsigned>(log_[a]) + log_[b]) % (kOrder - 1)];
+        }
+      }
+    }
+  }
+
+  std::vector<Elem> exp_;
+  std::vector<std::uint32_t> log_;
+  std::vector<Elem> mul_table_;
+};
+
+}  // namespace ncfn::gf

@@ -1,0 +1,93 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace ncfn::graph {
+
+void FlowGraph::add_arc(int from, int to, double capacity) {
+  arcs_.push_back(Arc{to, capacity, head_[static_cast<std::size_t>(from)]});
+  head_[static_cast<std::size_t>(from)] = static_cast<int>(arcs_.size() - 1);
+  arcs_.push_back(Arc{from, 0.0, head_[static_cast<std::size_t>(to)]});
+  head_[static_cast<std::size_t>(to)] = static_cast<int>(arcs_.size() - 1);
+}
+
+double FlowGraph::max_flow(int s, int t) {
+  constexpr double kEps = 1e-12;
+  double total = 0.0;
+  const int n = node_count();
+  std::vector<int> prev_arc(static_cast<std::size_t>(n));
+  while (true) {
+    // BFS for a shortest augmenting path.
+    std::fill(prev_arc.begin(), prev_arc.end(), -1);
+    std::queue<int> q;
+    q.push(s);
+    prev_arc[static_cast<std::size_t>(s)] = -2;
+    while (!q.empty() && prev_arc[static_cast<std::size_t>(t)] == -1) {
+      const int u = q.front();
+      q.pop();
+      for (int a = head_[static_cast<std::size_t>(u)]; a != -1;
+           a = arcs_[static_cast<std::size_t>(a)].next) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.cap > kEps &&
+            prev_arc[static_cast<std::size_t>(arc.to)] == -1) {
+          prev_arc[static_cast<std::size_t>(arc.to)] = a;
+          q.push(arc.to);
+        }
+      }
+    }
+    if (prev_arc[static_cast<std::size_t>(t)] == -1) break;
+
+    // Bottleneck along the path.
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (int v = t; v != s;) {
+      const int a = prev_arc[static_cast<std::size_t>(v)];
+      bottleneck = std::min(bottleneck, arcs_[static_cast<std::size_t>(a)].cap);
+      v = arcs_[static_cast<std::size_t>(a ^ 1)].to;
+    }
+    for (int v = t; v != s;) {
+      const int a = prev_arc[static_cast<std::size_t>(v)];
+      arcs_[static_cast<std::size_t>(a)].cap -= bottleneck;
+      arcs_[static_cast<std::size_t>(a ^ 1)].cap += bottleneck;
+      v = arcs_[static_cast<std::size_t>(a ^ 1)].to;
+    }
+    total += bottleneck;
+  }
+  return total;
+}
+
+FlowGraph build_flow_graph(const Topology& topo, bool apply_node_caps) {
+  FlowGraph g(2 * topo.node_count());
+  for (int i = 0; i < topo.node_count(); ++i) {
+    const NodeInfo& ni = topo.node(i);
+    double internal = kInf;
+    if (apply_node_caps && ni.kind == NodeKind::kDataCenter) {
+      internal = std::min(ni.bin_bps, ni.bout_bps);
+    }
+    g.add_arc(2 * i, 2 * i + 1, internal);
+  }
+  for (int e = 0; e < topo.edge_count(); ++e) {
+    const EdgeInfo& ei = topo.edge(e);
+    g.add_arc(2 * ei.from + 1, 2 * ei.to, ei.capacity_bps);
+  }
+  return g;
+}
+
+double st_max_flow(const Topology& topo, NodeIdx s, NodeIdx t,
+                   bool apply_node_caps) {
+  FlowGraph g = build_flow_graph(topo, apply_node_caps);
+  return g.max_flow(2 * s + 1, 2 * t);
+}
+
+double multicast_capacity(const Topology& topo, NodeIdx source,
+                          const std::vector<NodeIdx>& receivers,
+                          bool apply_node_caps) {
+  double cap = kInf;
+  for (NodeIdx r : receivers) {
+    cap = std::min(cap, st_max_flow(topo, source, r, apply_node_caps));
+  }
+  return cap;
+}
+
+}  // namespace ncfn::graph

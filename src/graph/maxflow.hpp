@@ -1,0 +1,58 @@
+// Edmonds–Karp max-flow, used for the theoretical multicast capacity
+// reference in Sec. V.B.1: "We can compute the theoretical maximal
+// throughput of the multicast session using the Ford–Fulkerson algorithm,
+// which is 69.9 Mbps" — with network coding, the achievable multicast rate
+// equals the minimum over receivers of the source→receiver max-flow
+// (Ahlswede et al.).
+#pragma once
+
+#include <vector>
+
+#include "graph/topology.hpp"
+
+namespace ncfn::graph {
+
+/// Standalone capacity graph for flow computation.
+class FlowGraph {
+ public:
+  explicit FlowGraph(int num_nodes) : head_(static_cast<std::size_t>(num_nodes), -1) {}
+
+  /// Add a directed arc with the given capacity (residual arc added
+  /// automatically with zero capacity).
+  void add_arc(int from, int to, double capacity);
+
+  /// Max-flow value from s to t (Edmonds–Karp / BFS augmenting paths).
+  /// Mutates residual capacities; call on a fresh copy per query.
+  [[nodiscard]] double max_flow(int s, int t);
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Arc {
+    int to;
+    double cap;
+    int next;  // next arc out of the same node
+  };
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;
+};
+
+/// Build a flow graph from a topology using edge capacities, splitting
+/// each data-center node v into v_in → v_out with capacity
+/// `vnf_throughput_cap(v)` (pass kInf for the pure edge-capacity bound).
+/// Node i maps to (2i, 2i+1) = (in, out); hosts get an infinite internal
+/// arc.
+[[nodiscard]] FlowGraph build_flow_graph(const Topology& topo,
+                                         bool apply_node_caps);
+
+/// Source→receiver max-flow in the (node-split) graph.
+[[nodiscard]] double st_max_flow(const Topology& topo, NodeIdx s, NodeIdx t,
+                                 bool apply_node_caps = false);
+
+/// Theoretical coded multicast capacity: min over receivers of the
+/// source→receiver max-flow.
+[[nodiscard]] double multicast_capacity(const Topology& topo, NodeIdx source,
+                                        const std::vector<NodeIdx>& receivers,
+                                        bool apply_node_caps = false);
+
+}  // namespace ncfn::graph

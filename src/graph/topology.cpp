@@ -1,0 +1,36 @@
+#include "graph/topology.hpp"
+
+namespace ncfn::graph {
+
+NodeIdx Topology::add_node(NodeInfo info) {
+  nodes_.push_back(std::move(info));
+  out_.emplace_back();
+  return static_cast<NodeIdx>(nodes_.size() - 1);
+}
+
+EdgeIdx Topology::add_edge(NodeIdx from, NodeIdx to, double delay_s,
+                           double capacity_bps) {
+  edges_.push_back(EdgeInfo{from, to, delay_s, capacity_bps});
+  const auto e = static_cast<EdgeIdx>(edges_.size() - 1);
+  out_.at(static_cast<std::size_t>(from)).push_back(e);
+  return e;
+}
+
+EdgeIdx Topology::find_edge(NodeIdx from, NodeIdx to) const {
+  for (EdgeIdx e : out_.at(static_cast<std::size_t>(from))) {
+    if (edges_[static_cast<std::size_t>(e)].to == to) return e;
+  }
+  return -1;
+}
+
+std::vector<NodeIdx> Topology::data_centers() const {
+  std::vector<NodeIdx> out;
+  for (int i = 0; i < node_count(); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].kind == NodeKind::kDataCenter) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace ncfn::graph

@@ -1,0 +1,78 @@
+// Controller-side overlay model (Sec. IV.A).
+//
+// Nodes are cloud data centers (candidate VNF locations, set V), session
+// sources and receivers; directed edges E are the Internet paths between
+// them with time-varying delay L(e). Per the formulation, bandwidth caps
+// live at nodes: Bin(v)/Bout(v) per deployed VM, and C(v) is the maximum
+// coding rate of one VNF in data center v. Edges may optionally carry a
+// capacity of their own (an extension used to express per-link bottlenecks
+// like the butterfly topology's T→V2 link; default +infinity preserves the
+// paper's exact formulation).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ncfn::graph {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using NodeIdx = int;
+using EdgeIdx = int;
+
+enum class NodeKind { kDataCenter, kHost };  // hosts: sources / receivers
+
+struct NodeInfo {
+  std::string name;
+  NodeKind kind = NodeKind::kHost;
+  double bin_bps = kInf;   // inbound bandwidth cap per VM at this node
+  double bout_bps = kInf;  // outbound bandwidth cap per VM
+  double vnf_capacity_bps = kInf;  // C(v): max coding rate of one VNF
+};
+
+struct EdgeInfo {
+  NodeIdx from = -1;
+  NodeIdx to = -1;
+  double delay_s = 0.0;        // L(e)
+  double capacity_bps = kInf;  // optional per-link cap (extension)
+};
+
+class Topology {
+ public:
+  NodeIdx add_node(NodeInfo info);
+  EdgeIdx add_edge(NodeIdx from, NodeIdx to, double delay_s,
+                   double capacity_bps = kInf);
+
+  [[nodiscard]] int node_count() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] int edge_count() const { return static_cast<int>(edges_.size()); }
+  [[nodiscard]] const NodeInfo& node(NodeIdx i) const {
+    return nodes_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] NodeInfo& node(NodeIdx i) {
+    return nodes_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] const EdgeInfo& edge(EdgeIdx e) const {
+    return edges_.at(static_cast<std::size_t>(e));
+  }
+  [[nodiscard]] EdgeInfo& edge(EdgeIdx e) {
+    return edges_.at(static_cast<std::size_t>(e));
+  }
+  /// Outgoing edge indices of a node.
+  [[nodiscard]] const std::vector<EdgeIdx>& out_edges(NodeIdx i) const {
+    return out_.at(static_cast<std::size_t>(i));
+  }
+  /// Edge from→to if present, else -1.
+  [[nodiscard]] EdgeIdx find_edge(NodeIdx from, NodeIdx to) const;
+
+  /// All data-center node indices.
+  [[nodiscard]] std::vector<NodeIdx> data_centers() const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<EdgeInfo> edges_;
+  std::vector<std::vector<EdgeIdx>> out_;
+};
+
+}  // namespace ncfn::graph

@@ -1,0 +1,283 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ncfn::lp {
+
+namespace {
+
+constexpr double kTolPivot = 1e-9;
+constexpr double kTolFeas = 1e-7;
+constexpr double kTolCost = 1e-9;
+
+/// Dense tableau: m rows x (ncols + 1); column ncols holds the RHS.
+struct Tableau {
+  int m = 0;
+  int ncols = 0;
+  std::vector<double> a;   // row-major, m * (ncols + 1)
+  std::vector<int> basis;  // basic column per row
+  std::vector<double> cost;  // reduced-cost row, length ncols
+  double objval = 0.0;
+
+  double& at(int r, int c) { return a[static_cast<std::size_t>(r) * (ncols + 1) + c]; }
+  [[nodiscard]] double get(int r, int c) const {
+    return a[static_cast<std::size_t>(r) * (ncols + 1) + c];
+  }
+  double& rhs(int r) { return at(r, ncols); }
+
+  void pivot(int pr, int pc) {
+    const double pv = at(pr, pc);
+    assert(std::abs(pv) > kTolPivot);
+    const double inv = 1.0 / pv;
+    for (int c = 0; c <= ncols; ++c) at(pr, c) *= inv;
+    at(pr, pc) = 1.0;  // fight rounding
+    for (int r = 0; r < m; ++r) {
+      if (r == pr) continue;
+      const double f = at(r, pc);
+      if (std::abs(f) < kTolPivot) continue;
+      for (int c = 0; c <= ncols; ++c) at(r, c) -= f * at(pr, c);
+      at(r, pc) = 0.0;
+    }
+    const double fc = cost[static_cast<std::size_t>(pc)];
+    if (std::abs(fc) > 0) {
+      for (int c = 0; c < ncols; ++c) {
+        cost[static_cast<std::size_t>(c)] -= fc * get(pr, c);
+      }
+      objval += fc * get(pr, ncols);
+      cost[static_cast<std::size_t>(pc)] = 0.0;
+    }
+    basis[static_cast<std::size_t>(pr)] = pc;
+  }
+};
+
+/// Runs the simplex loop (maximization) on the current cost row.
+/// `enterable[c]` masks which columns may enter the basis.
+Status run_simplex(Tableau& t, const std::vector<bool>& enterable,
+                   std::size_t& iters_left) {
+  int degenerate_streak = 0;
+  while (iters_left > 0) {
+    --iters_left;
+    const bool bland = degenerate_streak > 2 * t.ncols;
+
+    // Entering column: positive reduced cost.
+    int pc = -1;
+    double best = kTolCost;
+    for (int c = 0; c < t.ncols; ++c) {
+      if (!enterable[static_cast<std::size_t>(c)]) continue;
+      const double rc = t.cost[static_cast<std::size_t>(c)];
+      if (rc > best) {
+        pc = c;
+        if (bland) break;  // first eligible index
+        best = rc;
+      }
+    }
+    if (pc < 0) return Status::kOptimal;
+
+    // Ratio test.
+    int pr = -1;
+    double best_ratio = 0.0;
+    for (int r = 0; r < t.m; ++r) {
+      const double arc = t.get(r, pc);
+      if (arc <= kTolPivot) continue;
+      const double ratio = t.get(r, t.ncols) / arc;
+      if (pr < 0 || ratio < best_ratio - kTolPivot ||
+          (std::abs(ratio - best_ratio) <= kTolPivot &&
+           t.basis[static_cast<std::size_t>(r)] <
+               t.basis[static_cast<std::size_t>(pr)])) {
+        pr = r;
+        best_ratio = ratio;
+      }
+    }
+    if (pr < 0) return Status::kUnbounded;
+
+    degenerate_streak = best_ratio < kTolPivot ? degenerate_streak + 1 : 0;
+    t.pivot(pr, pc);
+  }
+  return Status::kIterLimit;
+}
+
+}  // namespace
+
+int Problem::add_var(double obj, double hi, std::string name) {
+  obj_.push_back(obj);
+  hi_.push_back(hi);
+  if (name.empty()) name = "x" + std::to_string(obj_.size() - 1);
+  names_.push_back(std::move(name));
+  return static_cast<int>(obj_.size() - 1);
+}
+
+void Problem::add_constraint(std::vector<Term> terms, Rel rel, double rhs) {
+  for ([[maybe_unused]] const Term& t : terms) {
+    assert(t.var >= 0 && t.var < num_vars());
+  }
+  rows_.push_back(Row{std::move(terms), rel, rhs});
+}
+
+Solution Problem::solve(std::size_t max_iters) const {
+  const int n = num_vars();
+
+  // Collect all rows: user rows plus upper-bound rows.
+  struct NRow {
+    std::vector<double> a;  // dense over structural vars
+    Rel rel;
+    double rhs;
+  };
+  std::vector<NRow> rows;
+  rows.reserve(rows_.size());
+  for (const Row& r : rows_) {
+    NRow nr{std::vector<double>(static_cast<std::size_t>(n), 0.0), r.rel,
+            r.rhs};
+    for (const Term& t : r.terms) {
+      nr.a[static_cast<std::size_t>(t.var)] += t.coeff;
+    }
+    rows.push_back(std::move(nr));
+  }
+  for (int v = 0; v < n; ++v) {
+    const double hi = hi_[static_cast<std::size_t>(v)];
+    if (std::isfinite(hi)) {
+      NRow nr{std::vector<double>(static_cast<std::size_t>(n), 0.0), Rel::kLe,
+              hi};
+      nr.a[static_cast<std::size_t>(v)] = 1.0;
+      rows.push_back(std::move(nr));
+    }
+  }
+
+  // Normalize RHS >= 0.
+  for (NRow& r : rows) {
+    if (r.rhs < 0) {
+      for (double& c : r.a) c = -c;
+      r.rhs = -r.rhs;
+      if (r.rel == Rel::kLe) {
+        r.rel = Rel::kGe;
+      } else if (r.rel == Rel::kGe) {
+        r.rel = Rel::kLe;
+      }
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+
+  // Column layout: [0,n) structural, then one slack/surplus per inequality,
+  // then artificials for >= and == rows.
+  int num_slack = 0, num_art = 0;
+  for (const NRow& r : rows) {
+    if (r.rel != Rel::kEq) ++num_slack;
+    if (r.rel != Rel::kLe) ++num_art;
+  }
+  const int ncols = n + num_slack + num_art;
+  const int art_begin = n + num_slack;
+
+  Tableau t;
+  t.m = m;
+  t.ncols = ncols;
+  t.a.assign(static_cast<std::size_t>(m) * (ncols + 1), 0.0);
+  t.basis.assign(static_cast<std::size_t>(m), -1);
+  t.cost.assign(static_cast<std::size_t>(ncols), 0.0);
+
+  int slack_col = n, art_col = art_begin;
+  for (int r = 0; r < m; ++r) {
+    const NRow& row = rows[static_cast<std::size_t>(r)];
+    for (int c = 0; c < n; ++c) t.at(r, c) = row.a[static_cast<std::size_t>(c)];
+    t.rhs(r) = row.rhs;
+    if (row.rel == Rel::kLe) {
+      t.at(r, slack_col) = 1.0;
+      t.basis[static_cast<std::size_t>(r)] = slack_col++;
+    } else if (row.rel == Rel::kGe) {
+      t.at(r, slack_col++) = -1.0;  // surplus
+      t.at(r, art_col) = 1.0;
+      t.basis[static_cast<std::size_t>(r)] = art_col++;
+    } else {
+      t.at(r, art_col) = 1.0;
+      t.basis[static_cast<std::size_t>(r)] = art_col++;
+    }
+  }
+
+  Solution sol;
+  std::vector<bool> enterable(static_cast<std::size_t>(ncols), true);
+  std::size_t iters_left = max_iters;
+
+  // ---- Phase 1: maximize -(sum of artificials) ----
+  if (num_art > 0) {
+    // Maximize z = -(sum of artificials). Substituting each artificial
+    // row art_r = rhs_r - sum_c a_rc x_c gives reduced costs
+    // cost_j = +sum over artificial rows of a_rj and objval = -sum rhs.
+    for (int r = 0; r < m; ++r) {
+      if (t.basis[static_cast<std::size_t>(r)] < art_begin) continue;
+      for (int c = 0; c < ncols; ++c) {
+        t.cost[static_cast<std::size_t>(c)] += t.get(r, c);
+      }
+      t.objval -= t.rhs(r);
+    }
+    for (int c = art_begin; c < ncols; ++c) {
+      t.cost[static_cast<std::size_t>(c)] = 0.0;  // basic artificials
+    }
+
+    const Status st = run_simplex(t, enterable, iters_left);
+    if (st == Status::kIterLimit) {
+      sol.status = st;
+      return sol;
+    }
+    if (t.objval < -kTolFeas) {
+      sol.status = Status::kInfeasible;
+      return sol;
+    }
+    // Drive remaining basic artificials out where possible; redundant rows
+    // keep a zero-valued artificial that is simply barred from re-entering.
+    for (int r = 0; r < m; ++r) {
+      if (t.basis[static_cast<std::size_t>(r)] < art_begin) continue;
+      for (int c = 0; c < art_begin; ++c) {
+        if (std::abs(t.get(r, c)) > kTolPivot) {
+          t.pivot(r, c);
+          break;
+        }
+      }
+    }
+    for (int c = art_begin; c < ncols; ++c) {
+      enterable[static_cast<std::size_t>(c)] = false;
+    }
+  }
+
+  // ---- Phase 2: real objective ----
+  std::fill(t.cost.begin(), t.cost.end(), 0.0);
+  t.objval = 0.0;
+  for (int c = 0; c < n; ++c) {
+    t.cost[static_cast<std::size_t>(c)] = obj_[static_cast<std::size_t>(c)];
+  }
+  // Price out the current basis.
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis[static_cast<std::size_t>(r)];
+    const double cb = b < n ? obj_[static_cast<std::size_t>(b)] : 0.0;
+    if (cb == 0.0) continue;
+    for (int c = 0; c < ncols; ++c) {
+      t.cost[static_cast<std::size_t>(c)] -= cb * t.get(r, c);
+    }
+    t.objval += cb * t.rhs(r);
+  }
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis[static_cast<std::size_t>(r)];
+    t.cost[static_cast<std::size_t>(b)] = 0.0;
+  }
+
+  const Status st = run_simplex(t, enterable, iters_left);
+  if (st != Status::kOptimal) {
+    sol.status = st;
+    return sol;
+  }
+
+  sol.status = Status::kOptimal;
+  sol.objective = t.objval;
+  sol.x.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const int b = t.basis[static_cast<std::size_t>(r)];
+    if (b < n) sol.x[static_cast<std::size_t>(b)] = t.rhs(r);
+  }
+  // Clamp tiny negatives from rounding.
+  for (double& v : sol.x) {
+    if (v < 0 && v > -kTolFeas) v = 0;
+  }
+  return sol;
+}
+
+}  // namespace ncfn::lp

@@ -1,0 +1,83 @@
+// Linear programming by dense two-phase primal simplex — the substitute
+// for glpk/cplex, which the paper uses to solve (the relaxation of)
+// optimization problem (2).
+//
+// Problem sizes in this system are small (5–20 data centers, a handful of
+// sessions, a few hundred path variables), so a dense tableau with
+// Dantzig pricing and a Bland anti-cycling fallback is both exact and
+// fast. Maximization form:
+//
+//     maximize    c^T x
+//     subject to  a_i^T x  {<=, >=, =}  b_i      for each row i
+//                 0 <= x_j <= hi_j               (hi may be +infinity)
+//
+// Finite upper bounds are handled by adding a row (fine at this scale).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ncfn::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Rel { kLe, kGe, kEq };
+
+enum class Status { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct Term {
+  int var;
+  double coeff;
+};
+
+struct Solution {
+  Status status = Status::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+
+  [[nodiscard]] bool ok() const { return status == Status::kOptimal; }
+};
+
+class Problem {
+ public:
+  /// Add a variable with bounds [0, hi] and objective coefficient `obj`.
+  /// Returns the variable index.
+  int add_var(double obj, double hi = kInf, std::string name = "");
+
+  /// Replace a variable's objective coefficient.
+  void set_objective(int var, double obj) { obj_.at(static_cast<std::size_t>(var)) = obj; }
+
+  /// Tighten a variable's upper bound (lower bound stays 0).
+  void set_upper_bound(int var, double hi) { hi_.at(static_cast<std::size_t>(var)) = hi; }
+
+  /// Fix a variable to a value: adds an equality row var == v.
+  void fix(int var, double v) { add_constraint({{var, 1.0}}, Rel::kEq, v); }
+
+  /// Add a general linear constraint. Terms may repeat a variable
+  /// (coefficients are summed).
+  void add_constraint(std::vector<Term> terms, Rel rel, double rhs);
+
+  [[nodiscard]] int num_vars() const { return static_cast<int>(obj_.size()); }
+  [[nodiscard]] int num_constraints() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] const std::string& var_name(int v) const {
+    return names_.at(static_cast<std::size_t>(v));
+  }
+
+  /// Solve. `max_iters` bounds total simplex pivots.
+  [[nodiscard]] Solution solve(std::size_t max_iters = 100000) const;
+
+ private:
+  struct Row {
+    std::vector<Term> terms;
+    Rel rel;
+    double rhs;
+  };
+
+  std::vector<double> obj_;
+  std::vector<double> hi_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ncfn::lp

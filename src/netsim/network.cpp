@@ -1,0 +1,115 @@
+#include "netsim/network.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ncfn::netsim {
+
+Link::Link(Network& net, NodeId from, NodeId to, const LinkConfig& cfg)
+    : net_(net),
+      from_(from),
+      to_(to),
+      capacity_bps_(cfg.capacity_bps),
+      prop_delay_(cfg.prop_delay),
+      jitter_(cfg.jitter),
+      queue_limit_(cfg.queue_packets) {}
+
+void Link::transmit(Datagram d) {
+  ++stats_.offered;
+  Simulator& sim = net_.sim();
+
+  if (loss_ && loss_->drop(net_.rng())) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  if (queued_ >= queue_limit_) {
+    ++stats_.dropped_queue;
+    return;
+  }
+
+  const double bits = static_cast<double>(d.wire_bytes()) * 8.0;
+  const Time start = std::max(sim.now(), busy_until_);
+  const Time tx = bits / capacity_bps_;
+  busy_until_ = start + tx;
+  ++queued_;
+
+  Time deliver_at = busy_until_ + prop_delay_;
+  if (jitter_ > 0) {
+    deliver_at += std::uniform_real_distribution<Time>(0, jitter_)(net_.rng());
+  }
+  sim.schedule_at(deliver_at, [this, pkt = std::move(d)]() mutable {
+    --queued_;
+    ++stats_.delivered;
+    stats_.bytes_delivered += pkt.wire_bytes();
+    net_.deliver(pkt);
+  });
+}
+
+NodeId Network::add_node(std::string name) {
+  node_names_.push_back(std::move(name));
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+Link& Network::add_link(NodeId from, NodeId to, const LinkConfig& cfg) {
+  auto link = std::make_unique<Link>(*this, from, to, cfg);
+  auto& slot = links_[{from, to}];
+  slot = std::move(link);
+  return *slot;
+}
+
+void Network::add_duplex_link(NodeId a, NodeId b, const LinkConfig& cfg) {
+  add_link(a, b, cfg);
+  add_link(b, a, cfg);
+}
+
+Link* Network::link(NodeId from, NodeId to) {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+const Link* Network::link(NodeId from, NodeId to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+void Network::bind(NodeId node, Port port, DatagramHandler handler) {
+  handlers_[{node, port}] = std::move(handler);
+}
+
+void Network::unbind(NodeId node, Port port) {
+  handlers_.erase({node, port});
+}
+
+bool Network::send(Datagram d) {
+  Link* l = link(d.src, d.dst);
+  if (l == nullptr) return false;
+  l->transmit(std::move(d));
+  return true;
+}
+
+void Network::deliver(const Datagram& d) {
+  auto it = handlers_.find({d.dst, d.dst_port});
+  if (it != handlers_.end()) it->second(d);
+  // No binding: silently dropped, like a closed UDP port.
+}
+
+std::optional<Time> Network::ping_rtt(NodeId a, NodeId b,
+                                      std::size_t probe_bytes) const {
+  const Link* fwd = link(a, b);
+  const Link* rev = link(b, a);
+  if (fwd == nullptr || rev == nullptr) return std::nullopt;
+  const double bits = static_cast<double>(probe_bytes + kUdpIpOverhead) * 8.0;
+  return fwd->prop_delay() + bits / fwd->capacity_bps() + rev->prop_delay() +
+         bits / rev->capacity_bps();
+}
+
+std::optional<double> Network::probe_bandwidth_bps(NodeId a, NodeId b,
+                                                   double noise_frac) {
+  Link* l = link(a, b);
+  if (l == nullptr) return std::nullopt;
+  std::uniform_real_distribution<double> noise(1.0 - noise_frac,
+                                               1.0 + noise_frac);
+  return l->capacity_bps() * noise(rng_);
+}
+
+}  // namespace ncfn::netsim

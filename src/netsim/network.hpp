@@ -1,0 +1,159 @@
+// Simulated overlay network: nodes (VMs / end hosts) joined by directed
+// links (inter-data-center Internet paths).
+//
+// A link models what the paper measures on EC2/Linode paths: a bandwidth
+// cap (time-varying, cf. Tab. I), a propagation delay (time-varying, for
+// Alg. 2's delay-change events), a finite FIFO egress queue with tail
+// drop, and a netem-style loss model. Datagram service is UDP-like:
+// unreliable, in-order per link (a single simulated path), with 28 bytes
+// of UDP+IP overhead charged per packet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "netsim/loss.hpp"
+#include "netsim/sim.hpp"
+
+namespace ncfn::netsim {
+
+using NodeId = std::uint32_t;
+using Port = std::uint16_t;
+
+inline constexpr std::size_t kUdpIpOverhead = 28;  // 8 B UDP + 20 B IP
+
+struct Datagram {
+  NodeId src = 0;
+  NodeId dst = 0;
+  Port dst_port = 0;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return payload.size() + kUdpIpOverhead;
+  }
+};
+
+struct LinkConfig {
+  double capacity_bps = 100e6;  // bandwidth cap
+  Time prop_delay = 0.010;      // one-way propagation delay (s)
+  std::size_t queue_packets = 512;  // egress queue limit (tail drop)
+  /// Uniform per-packet extra delay in [0, jitter]: Internet path jitter.
+  /// Nonzero jitter reorders packets — harmless to the coding data plane
+  /// (any sufficient set of packets decodes; Sec. III.B.1's case for UDP)
+  /// but poison for cumulative-ACK TCP.
+  Time jitter = 0.0;
+};
+
+struct LinkStats {
+  std::uint64_t offered = 0;        // packets handed to the link
+  std::uint64_t delivered = 0;      // packets that reached the far end
+  std::uint64_t dropped_loss = 0;   // loss-model drops
+  std::uint64_t dropped_queue = 0;  // tail drops
+  std::uint64_t bytes_delivered = 0;
+};
+
+class Network;
+
+/// One directed link. Created and owned by Network.
+class Link {
+ public:
+  Link(Network& net, NodeId from, NodeId to, const LinkConfig& cfg);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  [[nodiscard]] NodeId from() const { return from_; }
+  [[nodiscard]] NodeId to() const { return to_; }
+  [[nodiscard]] double capacity_bps() const { return capacity_bps_; }
+  [[nodiscard]] Time prop_delay() const { return prop_delay_; }
+  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+
+  /// Change the bandwidth cap at the current simulated time (already
+  /// scheduled transmissions keep their old timing, like a shaper change).
+  void set_capacity_bps(double bps) { capacity_bps_ = bps; }
+  /// Change the propagation delay (route change on the Internet path).
+  void set_prop_delay(Time d) { prop_delay_ = d; }
+  /// Change the per-packet jitter bound.
+  void set_jitter(Time j) { jitter_ = j; }
+  /// Install / replace the loss model (nullptr = lossless).
+  void set_loss_model(std::unique_ptr<LossModel> m) { loss_ = std::move(m); }
+
+  /// Queue a datagram for transmission. Applies loss model and tail drop.
+  void transmit(Datagram d);
+
+ private:
+  Network& net_;
+  NodeId from_, to_;
+  double capacity_bps_;
+  Time prop_delay_;
+  Time jitter_;
+  std::size_t queue_limit_;
+  std::unique_ptr<LossModel> loss_;
+  Time busy_until_ = 0;  // when the serializer frees up
+  std::size_t queued_ = 0;  // packets waiting for the serializer
+  LinkStats stats_;
+};
+
+/// Handler invoked on datagram arrival at a bound (node, port).
+using DatagramHandler = std::function<void(const Datagram&)>;
+
+class Network {
+ public:
+  explicit Network(std::uint32_t seed = 1) : rng_(seed) {}
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] std::mt19937& rng() { return rng_; }
+
+  /// Add a node; returns its id. Names are for diagnostics.
+  NodeId add_node(std::string name);
+  [[nodiscard]] const std::string& node_name(NodeId id) const {
+    return node_names_.at(id);
+  }
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+
+  /// Add a directed link. Replaces any existing from→to link.
+  Link& add_link(NodeId from, NodeId to, const LinkConfig& cfg);
+  /// Add a pair of symmetric links.
+  void add_duplex_link(NodeId a, NodeId b, const LinkConfig& cfg);
+
+  [[nodiscard]] Link* link(NodeId from, NodeId to);
+  [[nodiscard]] const Link* link(NodeId from, NodeId to) const;
+
+  /// Bind a datagram handler at (node, port); replaces a previous binding.
+  void bind(NodeId node, Port port, DatagramHandler handler);
+  void unbind(NodeId node, Port port);
+
+  /// Send a datagram over the direct link src→dst.
+  /// Returns false (and drops) if no such link exists.
+  bool send(Datagram d);
+
+  /// Round-trip time of a small probe on the direct a→b and b→a links:
+  /// the `ping` the paper's daemons run periodically. Returns nullopt if
+  /// either direction is missing.
+  [[nodiscard]] std::optional<Time> ping_rtt(NodeId a, NodeId b,
+                                             std::size_t probe_bytes) const;
+
+  /// The `iperf3`-style bandwidth probe: reports the current capacity of
+  /// the a→b link perturbed by measurement noise (matching the few-percent
+  /// wobble in Tab. I). Returns nullopt if there is no link.
+  [[nodiscard]] std::optional<double> probe_bandwidth_bps(NodeId a, NodeId b,
+                                                          double noise_frac);
+
+  // Internal: called by Link to hand a datagram to the destination node.
+  void deliver(const Datagram& d);
+
+ private:
+  Simulator sim_;
+  std::mt19937 rng_;
+  std::vector<std::string> node_names_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+  std::map<std::pair<NodeId, Port>, DatagramHandler> handlers_;
+};
+
+}  // namespace ncfn::netsim

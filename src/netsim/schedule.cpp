@@ -1,0 +1,34 @@
+#include "netsim/schedule.hpp"
+
+#include <random>
+
+namespace ncfn::netsim {
+
+void apply_capacity_schedule(Network& net, Link& link, Schedule steps) {
+  for (const auto& [at, bps] : steps) {
+    net.sim().schedule_at(at, [&link, v = bps] { link.set_capacity_bps(v); });
+  }
+}
+
+void apply_delay_schedule(Network& net, Link& link, Schedule steps) {
+  for (const auto& [at, delay] : steps) {
+    net.sim().schedule_at(at, [&link, v = delay] { link.set_prop_delay(v); });
+  }
+}
+
+Schedule ar1_trace(double nominal, double sigma, double reversion,
+                   Time interval_s, std::size_t steps, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> shock(0.0, sigma);
+  Schedule out;
+  out.reserve(steps);
+  double v = nominal;
+  for (std::size_t i = 0; i < steps; ++i) {
+    out.emplace_back(static_cast<Time>(i) * interval_s, v);
+    v = reversion * v + (1.0 - reversion) * nominal + shock(rng);
+    if (v < 0) v = 0;
+  }
+  return out;
+}
+
+}  // namespace ncfn::netsim

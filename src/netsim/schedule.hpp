@@ -1,0 +1,36 @@
+// Time-varying link properties: replay a capacity (or delay) schedule on
+// a simulated link — the mechanism behind the paper's Tab. I measurements
+// ("It is common for data centers to set a bandwidth cap ... which can be
+// time varying as well according to our measurements") and the netem-
+// driven bandwidth cuts of Fig. 11.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "netsim/network.hpp"
+
+namespace ncfn::netsim {
+
+/// A piecewise-constant schedule of (time, value) steps. Values apply
+/// from their timestamp until the next step.
+using Schedule = std::vector<std::pair<Time, double>>;
+
+/// Install a capacity schedule on a link: at each step time the link's
+/// bandwidth cap changes to the step value (bps). Steps must be sorted by
+/// time and in the future. Already-queued transmissions keep their old
+/// timing, like a token-bucket reconfiguration.
+void apply_capacity_schedule(Network& net, Link& link, Schedule steps);
+
+/// Same for the propagation delay (route changes on the Internet path).
+void apply_delay_schedule(Network& net, Link& link, Schedule steps);
+
+/// Build an AR(1) mean-reverting trace around `nominal`:
+///   v_{t+1} = reversion * v_t + (1 - reversion) * nominal + N(0, sigma)
+/// sampled every `interval_s` for `steps` samples — the shape of the
+/// paper's measured per-VM bandwidth in Tab. I.
+[[nodiscard]] Schedule ar1_trace(double nominal, double sigma,
+                                 double reversion, Time interval_s,
+                                 std::size_t steps, std::uint32_t seed);
+
+}  // namespace ncfn::netsim

@@ -1,0 +1,46 @@
+#include "netsim/sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ncfn::netsim {
+
+EventId Simulator::schedule_at(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::is_cancelled(EventId id) {
+  auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  return true;
+}
+
+std::size_t Simulator::run_until(Time t_end) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= t_end) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) {
+      if (cancelled_live_ > 0) --cancelled_live_;
+      continue;
+    }
+    now_ = ev.at;
+    ev.fn();
+    ++executed;
+  }
+  // Track how many cancelled ids still refer to queued events so empty()
+  // stays meaningful.
+  cancelled_live_ = cancelled_.size();
+  if (queue_.empty()) {
+    cancelled_.clear();
+    cancelled_live_ = 0;
+  }
+  if (now_ < t_end && t_end != kForever) now_ = t_end;
+  return executed;
+}
+
+}  // namespace ncfn::netsim

@@ -1,0 +1,252 @@
+#include "vnf/coding_vnf.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ncfn::vnf {
+
+CodingVnf::CodingVnf(netsim::Network& net, netsim::NodeId node, VnfConfig cfg)
+    : net_(net), node_(node), cfg_(cfg), rng_(cfg.seed), buffer_(cfg.params) {
+  lanes_.resize(1);
+}
+
+CodingVnf::~CodingVnf() {
+  for (const auto& [id, st] : sessions_) net_.unbind(node_, st.port);
+}
+
+void CodingVnf::set_lanes(std::size_t lanes) {
+  assert(lanes >= 1);
+  lanes_.resize(lanes);
+}
+
+void CodingVnf::configure_session(coding::SessionId id, ctrl::VnfRole role,
+                                  netsim::Port port) {
+  auto& st = sessions_[id];
+  if (st.port != 0 && st.port != port) net_.unbind(node_, st.port);
+  st.role = role;
+  st.port = port;
+  net_.bind(node_, port, [this](const netsim::Datagram& d) { on_datagram(d); });
+}
+
+void CodingVnf::drop_session(coding::SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  net_.unbind(node_, it->second.port);
+  buffer_.erase_session(id);
+  sessions_.erase(it);
+}
+
+void CodingVnf::set_next_hops(coding::SessionId id,
+                              std::vector<NextHopRate> hops) {
+  auto& st = sessions_[id];
+  st.hops = std::move(hops);
+  st.ledger.clear();
+  st.trees.reset();
+}
+
+void CodingVnf::set_tree_routing(coding::SessionId id, TreeRouting routing) {
+  assert(!routing.schedule.empty());
+  auto& st = sessions_[id];
+  st.trees = std::move(routing);
+  st.hops.clear();
+  st.ledger.clear();
+}
+
+void CodingVnf::pause() { paused_ = true; }
+
+void CodingVnf::resume() {
+  paused_ = false;
+  auto backlog = std::move(paused_backlog_);
+  paused_backlog_.clear();
+  for (auto& pkt : backlog) process(std::move(pkt));
+}
+
+const VnfSessionStats& CodingVnf::stats(coding::SessionId id) const {
+  static const VnfSessionStats kEmpty;
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? kEmpty : it->second.stats;
+}
+
+double CodingVnf::service_time() const {
+  const auto& p = cfg_.params;
+  const double work_bytes =
+      2.0 * static_cast<double>(p.generation_blocks) *
+      static_cast<double>(p.block_size + p.generation_blocks);
+  return cfg_.fixed_overhead_s + work_bytes / cfg_.proc_rate_Bps;
+}
+
+std::size_t CodingVnf::lane_of(coding::SessionId s,
+                               coding::GenerationId g) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(s) << 32) | g;
+  return std::hash<std::uint64_t>{}(key) % lanes_.size();
+}
+
+void CodingVnf::on_datagram(const netsim::Datagram& d) {
+  auto pkt = coding::CodedPacket::parse(d.payload, cfg_.params);
+  if (!pkt) return;  // not an NC packet for our parameters
+  auto sit = sessions_.find(pkt->session);
+  if (sit == sessions_.end()) return;
+
+  // Admission to the processing lane serving this generation.
+  Lane& lane = lanes_[lane_of(pkt->session, pkt->generation)];
+  if (lane.queued >= cfg_.proc_queue_limit) {
+    ++sit->second.stats.proc_dropped;
+    return;
+  }
+  ++lane.queued;
+  netsim::Simulator& sim = net_.sim();
+  const netsim::Time start = std::max(sim.now(), lane.busy_until);
+  lane.busy_until = start + service_time();
+  sim.schedule_at(lane.busy_until, [this, &lane, p = std::move(*pkt)]() mutable {
+    --lane.queued;
+    if (paused_) {
+      paused_backlog_.push_back(std::move(p));
+    } else {
+      process(std::move(p));
+    }
+  });
+}
+
+void CodingVnf::process(coding::CodedPacket pkt) {
+  auto sit = sessions_.find(pkt.session);
+  if (sit == sessions_.end()) return;
+  SessionState& st = sit->second;
+  ++st.stats.received;
+
+  coding::Decoder& dec = buffer_.state(pkt.session, pkt.generation);
+  const bool was_complete = dec.complete();
+  const bool first_of_generation = dec.packets_seen() == 0;
+  const bool innovative = dec.add(pkt);
+  if (innovative) ++st.stats.innovative;
+#ifdef NCFN_DEBUG_GEN0
+  if (pkt.generation == 0) {
+    printf("[%.6f] node=%u gen0 arrival rank=%zu innov=%d role=%d\n",
+           net_.sim().now(), node_, dec.rank(), (int)innovative, (int)st.role);
+  }
+#endif
+  if (tap_) tap_(pkt.session, pkt.generation, dec.rank(), dec.complete(),
+                 innovative);
+
+  switch (st.role) {
+    case ctrl::VnfRole::kDecode:
+      if (!was_complete && dec.complete()) {
+        ++st.stats.decoded_generations;
+        if (sink_) sink_(pkt.session, pkt.generation, dec.recover());
+      }
+      break;
+    case ctrl::VnfRole::kForward:
+    case ctrl::VnfRole::kRecode:
+      if (st.trees) {
+        // Routing-only tree forwarding: copy each innovative packet along
+        // the generation's tree.
+        if (!innovative) break;
+        const TreeRouting& tr = *st.trees;
+        const std::size_t tree =
+            tr.schedule[pkt.generation % tr.schedule.size()];
+        if (tree >= tr.hops_per_tree.size()) break;
+        for (const ctrl::NextHop& hop : tr.hops_per_tree[tree]) {
+          netsim::Datagram d;
+          d.src = node_;
+          d.dst = hop.node;
+          d.dst_port = hop.port;
+          d.payload = pkt.serialize();
+          if (net_.send(std::move(d))) ++st.stats.emitted;
+        }
+      } else {
+        emit(st, pkt, dec, first_of_generation);
+        // A newly completed generation releases its deferred emissions
+        // with fully-mixed content.
+        if (!was_complete && dec.complete()) {
+          flush_pending(pkt.session, pkt.generation);
+        }
+      }
+      break;
+  }
+}
+
+void CodingVnf::emit(SessionState& st, const coding::CodedPacket& arrival,
+                     coding::Decoder& dec, bool first_of_generation) {
+  // Per-generation largest-remainder credits: each arrival of generation
+  // g earns share credits for g on every hop; whole credits become
+  // emissions of g (possibly deferred until g reaches full rank).
+  constexpr double kCreditEps = 1e-9;
+  constexpr std::size_t kLedgerLimit = 4096;
+  const bool defer = st.role == ctrl::VnfRole::kRecode &&
+                     cfg_.recode_hold_s > 0 && !dec.complete();
+  auto& gl = st.ledger[arrival.generation];
+  if (gl.credit.size() < st.hops.size()) {
+    gl.credit.resize(st.hops.size(), 0.0);
+    gl.deferred.resize(st.hops.size(), 0);
+  }
+  for (std::size_t h = 0; h < st.hops.size(); ++h) {
+    gl.credit[h] += st.hops[h].share;
+    while (gl.credit[h] >= 1.0 - kCreditEps) {
+      gl.credit[h] -= 1.0;
+      if (defer) {
+        // Hold the emission until the generation's rank completes or the
+        // hold timer fires (see the class comment on emission deferral).
+        ++gl.deferred[h];
+        if (!gl.timer_armed) {
+          gl.timer_armed = true;
+          net_.sim().schedule(
+              cfg_.recode_hold_s,
+              [this, session = arrival.session, gen = arrival.generation] {
+                flush_pending(session, gen);
+              });
+        }
+        continue;
+      }
+      coding::CodedPacket out;
+      if (st.role == ctrl::VnfRole::kForward ||
+          (first_of_generation && dec.rank() <= 1)) {
+        // Routing-only relays copy packets through; a recoding relay also
+        // passes the very first packet of a generation unchanged
+        // (Sec. III.B.2), since recoding one row is a scalar multiple.
+        out = arrival;
+      } else {
+        out = dec.recode(rng_);
+      }
+      netsim::Datagram d;
+      d.src = node_;
+      d.dst = st.hops[h].hop.node;
+      d.dst_port = st.hops[h].hop.port;
+      d.payload = out.serialize();
+      if (net_.send(std::move(d))) ++st.stats.emitted;
+    }
+  }
+  // Bound the ledger: forward-role entries have no flush timer, so evict
+  // the oldest once the map grows past the decoder buffer's own budget.
+  while (st.ledger.size() > kLedgerLimit) st.ledger.erase(st.ledger.begin());
+}
+
+void CodingVnf::send_recoded(SessionState& st, coding::Decoder& dec,
+                             std::size_t hop) {
+  netsim::Datagram d;
+  d.src = node_;
+  d.dst = st.hops[hop].hop.node;
+  d.dst_port = st.hops[hop].hop.port;
+  d.payload = dec.recode(rng_).serialize();
+  if (net_.send(std::move(d))) ++st.stats.emitted;
+}
+
+void CodingVnf::flush_pending(coding::SessionId session,
+                              coding::GenerationId gen) {
+  auto sit = sessions_.find(session);
+  if (sit == sessions_.end()) return;
+  SessionState& st = sit->second;
+  auto lit = st.ledger.find(gen);
+  if (lit == st.ledger.end()) return;
+  coding::Decoder* dec = buffer_.find(session, gen);
+  if (dec != nullptr && dec->rank() > 0) {
+    for (std::size_t h = 0;
+         h < lit->second.deferred.size() && h < st.hops.size(); ++h) {
+      for (std::uint32_t i = 0; i < lit->second.deferred[h]; ++i) {
+        send_recoded(st, *dec, h);
+      }
+      lit->second.deferred[h] = 0;
+    }
+  }
+  lit->second.timer_armed = false;
+}
+
+}  // namespace ncfn::vnf

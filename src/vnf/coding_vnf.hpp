@@ -1,0 +1,208 @@
+// The virtual network coding function — the paper's data plane
+// (Sec. III.B.2), one object per data center, with one processing lane per
+// deployed VNF instance (VM).
+//
+// Behaviour per received coded packet, as in the paper:
+//   * the packet is stored in the per-(session, generation) FIFO buffer;
+//   * a RECODE-role VNF "generates an encoded packet immediately after it
+//     receives a packet from the same session and generation" (pipelined
+//     recoding) — except the first packet of a generation, which is
+//     forwarded unchanged;
+//   * a FORWARD-role VNF copies packets through (the paper's routing-only
+//     baseline);
+//   * a DECODE-role VNF recovers a generation once it has enough linearly
+//     independent packets and hands the blocks to the application sink.
+//
+// Rate conservation: a relay must emit at the rates the controller's plan
+// assigned to its out-edges. Each (session, next-hop) pair carries a
+// credit share = f(e_out) / sum of the session's inbound rates; every
+// arrival adds the share and a packet is emitted per whole credit. This
+// keeps relay output deterministic and exactly plan-shaped.
+//
+// Emission deferral: when upstream paths have different delays, a merge
+// relay's early arrivals all come from the faster path, so per-arrival
+// recoding would emit packets confined to that path's subspace — useless
+// to the receiver that already has it (the classic pipelined-recoding
+// pathology on skewed paths). An emission credit earned for a generation
+// that is not yet full-rank is therefore held until the rank completes
+// (usually the very next arrivals) or `recode_hold_s` expires, whichever
+// is first. This preserves pipelining at sub-generation timescales while
+// guaranteeing fully-mixed emissions on merge relays.
+//
+// Processing model (the DPDK substitution): each packet costs
+//     service = fixed_overhead + 2 * g * block_size / proc_rate
+// of lane time — one generation-sized Gaussian-elimination pass plus one
+// recode pass over GF(2^8), with proc_rate calibrated against the real
+// codec microbenchmarks. Packets arriving at a saturated lane queue up to
+// `proc_queue_limit` and overflow is dropped; this is C(v) in the
+// formulation and is what makes large generation sizes collapse in Fig. 4.
+//
+// When a DC runs several VNF instances, "packets belonging to the same
+// generation are dispatched to the same VNF instance" by hashing
+// (session, generation) over the lanes, exactly as in Sec. IV.A.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "coding/buffer.hpp"
+#include "coding/packet.hpp"
+#include "ctrl/signals.hpp"
+#include "netsim/network.hpp"
+
+namespace ncfn::vnf {
+
+struct VnfConfig {
+  coding::CodingParams params;
+  /// GF(2^8) bulk-op throughput of one VNF instance, bytes/second. The
+  /// default models a 2016-era cloud VM core doing scalar table-driven
+  /// muladd (the paper's testbed); this repo's own codec measures ~2 GB/s
+  /// scalar and ~10 GB/s with the SSSE3 kernels (bench_micro_codec), so
+  /// raise this if you want to model modern SIMD-equipped VNFs.
+  double proc_rate_Bps = 4e8;
+  /// Fixed per-packet overhead (header parse, socket, dispatch).
+  double fixed_overhead_s = 5e-6;
+  std::size_t proc_queue_limit = 4096;  // packets per lane
+  /// Recode-emission hold (see the class comment): an earned emission for
+  /// a generation whose decoding matrix is not yet full-rank is deferred
+  /// until the rank completes or this timeout expires. Covers the arrival
+  /// skew between upstream paths; 0 disables deferral (strict per-arrival
+  /// emission, the ablation baseline).
+  double recode_hold_s = 0.050;
+  std::uint32_t seed = 1;
+};
+
+struct NextHopRate {
+  ctrl::NextHop hop;
+  double share = 1.0;  // credits earned per inbound packet
+};
+
+/// Routing-only (Non-NC) forwarding state: the session's generations are
+/// dispatched across packed multicast trees (see app/baseline.hpp); every
+/// node knows, per tree, its own next hops, and forwards each *innovative*
+/// packet of a generation along the generation's tree. Innovation-only
+/// forwarding dedupes the DAG union of paths without per-packet ids.
+struct TreeRouting {
+  std::vector<std::uint16_t> schedule;  // generation -> tree index, cyclic
+  std::vector<std::vector<ctrl::NextHop>> hops_per_tree;  // this node's hops
+};
+
+struct VnfSessionStats {
+  std::uint64_t received = 0;
+  std::uint64_t innovative = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t proc_dropped = 0;  // arrivals dropped at a saturated lane
+  std::uint64_t decoded_generations = 0;
+};
+
+/// Decoded-generation sink: (session, generation, blocks, params).
+using DecodeSink = std::function<void(
+    coding::SessionId, coding::GenerationId,
+    std::vector<std::vector<std::uint8_t>> blocks)>;
+
+/// Per-packet tap, invoked after each processed packet:
+/// (session, generation, rank after, complete, innovative).
+using PacketTap = std::function<void(coding::SessionId, coding::GenerationId,
+                                     std::size_t, bool, bool)>;
+
+class CodingVnf {
+ public:
+  CodingVnf(netsim::Network& net, netsim::NodeId node, VnfConfig cfg);
+  ~CodingVnf();
+
+  CodingVnf(const CodingVnf&) = delete;
+  CodingVnf& operator=(const CodingVnf&) = delete;
+
+  [[nodiscard]] netsim::NodeId node() const { return node_; }
+
+  /// Number of VNF instances (VMs) at this DC. Changing the lane count
+  /// re-shards future generations; in-flight generation state is kept.
+  void set_lanes(std::size_t lanes);
+  [[nodiscard]] std::size_t lanes() const { return lanes_.size(); }
+
+  /// Configure a session: role and listening port (NC_SETTINGS).
+  void configure_session(coding::SessionId id, ctrl::VnfRole role,
+                         netsim::Port port);
+  void drop_session(coding::SessionId id);
+
+  /// Set the next hops and their credit shares for a session
+  /// (NC_FORWARD_TAB plus the plan's rates).
+  void set_next_hops(coding::SessionId id, std::vector<NextHopRate> hops);
+
+  /// Switch a session to routing-only tree forwarding (the Non-NC
+  /// baseline); replaces any credit-based next hops.
+  void set_tree_routing(coding::SessionId id, TreeRouting routing);
+
+  /// Pause/resume the coding function (the SIGUSR1 dance around a
+  /// forwarding-table load). While paused, arrivals are buffered in the
+  /// processing queue but nothing is emitted.
+  void pause();
+  void resume();
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  void set_decode_sink(DecodeSink sink) { sink_ = std::move(sink); }
+  /// Observe every processed packet (used by receivers for repair timers).
+  void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
+
+  [[nodiscard]] const VnfSessionStats& stats(coding::SessionId id) const;
+  [[nodiscard]] const VnfConfig& config() const { return cfg_; }
+  /// Decoding state of a buffered generation, or nullptr.
+  [[nodiscard]] coding::Decoder* find_decoder(coding::SessionId s,
+                                              coding::GenerationId g) {
+    return buffer_.find(s, g);
+  }
+  [[nodiscard]] const coding::GenerationBuffer& buffer() const {
+    return buffer_;
+  }
+
+ private:
+  struct SessionState {
+    ctrl::VnfRole role = ctrl::VnfRole::kForward;
+    netsim::Port port = 0;
+    std::vector<NextHopRate> hops;
+    std::optional<TreeRouting> trees;
+    // Per-generation emission ledger. Credits must be accounted per
+    // generation, not globally: arrival streams from skewed upstream
+    // paths interleave different generations, and a global ledger would
+    // attribute tokens by arrival parity, starving some generations.
+    struct GenLedger {
+      std::vector<double> credit;          // per hop
+      std::vector<std::uint32_t> deferred;  // earned but held emissions
+      bool timer_armed = false;
+    };
+    std::map<coding::GenerationId, GenLedger> ledger;
+    VnfSessionStats stats;
+  };
+  struct Lane {
+    netsim::Time busy_until = 0;
+    std::size_t queued = 0;
+  };
+
+  void on_datagram(const netsim::Datagram& d);
+  void process(coding::CodedPacket pkt);
+  void emit(SessionState& st, const coding::CodedPacket& arrival,
+            coding::Decoder& dec, bool first_of_generation);
+  void send_recoded(SessionState& st, coding::Decoder& dec, std::size_t hop);
+  void flush_pending(coding::SessionId session, coding::GenerationId gen);
+  [[nodiscard]] double service_time() const;
+  [[nodiscard]] std::size_t lane_of(coding::SessionId s,
+                                    coding::GenerationId g) const;
+
+  netsim::Network& net_;
+  netsim::NodeId node_;
+  VnfConfig cfg_;
+  std::mt19937 rng_;
+  coding::GenerationBuffer buffer_;
+  std::map<coding::SessionId, SessionState> sessions_;
+  std::vector<Lane> lanes_;
+  bool paused_ = false;
+  std::vector<coding::CodedPacket> paused_backlog_;
+  DecodeSink sink_;
+  PacketTap tap_;
+};
+
+}  // namespace ncfn::vnf

@@ -1,0 +1,123 @@
+#include "vnf/daemon.hpp"
+
+namespace ncfn::vnf {
+
+VnfDaemon::VnfDaemon(netsim::Network& net, netsim::NodeId node,
+                     DaemonConfig cfg)
+    : net_(net), node_(node), cfg_(cfg) {
+  vnf_ = std::make_unique<CodingVnf>(net_, node_, cfg_.vnf);
+  net_.bind(node_, cfg_.control_port,
+            [this](const netsim::Datagram& d) { on_control_datagram(d); });
+}
+
+VnfDaemon::~VnfDaemon() { net_.unbind(node_, cfg_.control_port); }
+
+void VnfDaemon::on_control_datagram(const netsim::Datagram& d) {
+  ++stats_.signals_received;
+  const std::string text(d.payload.begin(), d.payload.end());
+  auto signal = ctrl::parse_signal(text);
+  if (!signal) {
+    ++stats_.signals_malformed;
+    return;
+  }
+  handle_signal(*signal);
+}
+
+void VnfDaemon::handle_signal(const ctrl::Signal& s) {
+  std::visit(
+      [this](const auto& sig) {
+        using T = std::decay_t<decltype(sig)>;
+        if constexpr (std::is_same_v<T, ctrl::NcStart>) {
+          running_ = true;
+          ++shutdown_epoch_;
+          shutdown_pending_ = false;
+        } else if constexpr (std::is_same_v<T, ctrl::NcVnfStart>) {
+          // Reuse an existing (draining) VM if possible, else "launch".
+          // Either way any pending shutdown is cancelled.
+          if (shutdown_pending_) ++stats_.shutdowns_cancelled;
+          shutdown_pending_ = false;
+          ++shutdown_epoch_;
+          running_ = true;
+          // Coding function becomes ready after the start latency.
+          net_.sim().schedule(cfg_.vnf_start_s,
+                              [this] { ++stats_.vnf_starts; });
+          if (sig.count > vnf_->lanes()) vnf_->set_lanes(sig.count);
+        } else if constexpr (std::is_same_v<T, ctrl::NcVnfEnd>) {
+          const std::uint64_t epoch = ++shutdown_epoch_;
+          shutdown_pending_ = true;
+          net_.sim().schedule(sig.tau_s, [this, epoch] {
+            if (shutdown_epoch_ == epoch && running_) {
+              running_ = false;
+              shutdown_pending_ = false;
+              ++stats_.shutdowns;
+            }
+          });
+        } else if constexpr (std::is_same_v<T, ctrl::NcForwardTab>) {
+          apply_table(sig);
+        } else if constexpr (std::is_same_v<T, ctrl::NcSettings>) {
+          apply_settings(sig);
+        }
+      },
+      s);
+}
+
+void VnfDaemon::apply_settings(const ctrl::NcSettings& s) {
+  coding::CodingParams params = cfg_.vnf.params;
+  params.generation_blocks = s.generation_blocks;
+  params.block_size = s.block_size;
+  // Coding parameters are system-wide and set at initialization; a change
+  // requires restarting the coding function with a fresh buffer.
+  if (params.generation_blocks != cfg_.vnf.params.generation_blocks ||
+      params.block_size != cfg_.vnf.params.block_size) {
+    cfg_.vnf.params = params;
+    vnf_ = std::make_unique<CodingVnf>(net_, node_, cfg_.vnf);
+  }
+  for (const ctrl::SessionSetting& ss : s.sessions) {
+    vnf_->configure_session(ss.session, ss.role, ss.udp_port);
+  }
+}
+
+void VnfDaemon::apply_table(const ctrl::NcForwardTab& t) {
+  // SIGUSR1: pause, load the table, resume. The apply cost scales with
+  // the number of entries that actually changed (Table III).
+  const std::size_t changed =
+      ctrl::ForwardingTable::diff_entries(table_, t.table);
+  const double cost =
+      static_cast<double>(changed) * cfg_.table_entry_apply_s;
+  vnf_->pause();
+  stats_.last_table_update_cost_s = cost;
+  ++stats_.table_updates;
+  table_ = t.table;
+  net_.sim().schedule(cost, [this, tab = t.table] {
+    for (const auto& [session, hops] : tab.entries()) {
+      std::vector<NextHopRate> rates;
+      rates.reserve(hops.size());
+      for (const ctrl::NextHop& h : hops) {
+        rates.push_back(NextHopRate{h, 1.0});
+      }
+      vnf_->set_next_hops(session, std::move(rates));
+    }
+    vnf_->resume();
+  });
+}
+
+void VnfDaemon::start_probes(std::vector<netsim::NodeId> peers,
+                             double interval_s, ProbeReport report) {
+  probe_peers_ = std::move(peers);
+  probe_interval_s_ = interval_s;
+  probe_report_ = std::move(report);
+  probing_ = true;
+  net_.sim().schedule(probe_interval_s_, [this] { probe_round(); });
+}
+
+void VnfDaemon::probe_round() {
+  if (!probing_) return;
+  for (netsim::NodeId peer : probe_peers_) {
+    const auto bw = net_.probe_bandwidth_bps(node_, peer, 0.02);
+    const auto rtt = net_.ping_rtt(node_, peer, 64);
+    if (probe_report_) probe_report_(peer, bw, rtt);
+  }
+  net_.sim().schedule(probe_interval_s_, [this] { probe_round(); });
+}
+
+}  // namespace ncfn::vnf

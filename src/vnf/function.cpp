@@ -1,0 +1,108 @@
+#include "vnf/function.hpp"
+
+namespace ncfn::vnf {
+
+std::uint32_t ChecksumTagFunction::fnv1a(std::span<const std::uint8_t> d) {
+  std::uint32_t h = 2166136261u;
+  for (std::uint8_t b : d) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::vector<std::vector<std::uint8_t>> ChecksumTagFunction::process(
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out(payload.begin(), payload.end());
+  const std::uint32_t h = fnv1a(payload);
+  out.push_back(static_cast<std::uint8_t>(h >> 24));
+  out.push_back(static_cast<std::uint8_t>(h >> 16));
+  out.push_back(static_cast<std::uint8_t>(h >> 8));
+  out.push_back(static_cast<std::uint8_t>(h));
+  return {std::move(out)};
+}
+
+std::vector<std::vector<std::uint8_t>> ChecksumVerifyFunction::process(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < 4) {
+    ++dropped_;
+    return {};
+  }
+  const auto body = payload.subspan(0, payload.size() - 4);
+  const std::uint32_t want =
+      (static_cast<std::uint32_t>(payload[payload.size() - 4]) << 24) |
+      (static_cast<std::uint32_t>(payload[payload.size() - 3]) << 16) |
+      (static_cast<std::uint32_t>(payload[payload.size() - 2]) << 8) |
+      static_cast<std::uint32_t>(payload[payload.size() - 1]);
+  if (ChecksumTagFunction::fnv1a(body) != want) {
+    ++dropped_;
+    return {};
+  }
+  return {std::vector<std::uint8_t>(body.begin(), body.end())};
+}
+
+namespace {
+constexpr std::uint8_t kEscape = 0xAA;
+constexpr std::size_t kMinRun = 4;
+}  // namespace
+
+std::vector<std::uint8_t> RleCompressFunction::compress(
+    std::span<const std::uint8_t> in) {
+  std::vector<std::uint8_t> out;
+  out.reserve(in.size());
+  std::size_t i = 0;
+  while (i < in.size()) {
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == in[i] && run < 255) ++run;
+    if (run >= kMinRun) {
+      out.push_back(kEscape);
+      out.push_back(in[i]);
+      out.push_back(static_cast<std::uint8_t>(run));
+      i += run;
+    } else if (in[i] == kEscape) {
+      out.push_back(kEscape);
+      out.push_back(kEscape);
+      out.push_back(0);
+      ++i;
+    } else {
+      out.push_back(in[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> RleDecompressFunction::decompress(
+    std::span<const std::uint8_t> in) {
+  std::vector<std::uint8_t> out;
+  out.reserve(in.size());
+  std::size_t i = 0;
+  while (i < in.size()) {
+    if (in[i] == kEscape && i + 2 < in.size()) {
+      const std::uint8_t byte = in[i + 1];
+      const std::uint8_t count = in[i + 2];
+      if (byte == kEscape && count == 0) {
+        out.push_back(kEscape);
+      } else {
+        out.insert(out.end(), count, byte);
+      }
+      i += 3;
+    } else {
+      out.push_back(in[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> RleCompressFunction::process(
+    std::span<const std::uint8_t> payload) {
+  return {compress(payload)};
+}
+
+std::vector<std::vector<std::uint8_t>> RleDecompressFunction::process(
+    std::span<const std::uint8_t> payload) {
+  return {decompress(payload)};
+}
+
+}  // namespace ncfn::vnf

@@ -1,0 +1,108 @@
+// Modular packet functions — the paper's future-work direction (Sec. VI):
+// "Modularizing the system design ... so that our system can directly
+// support a broad range of application scenarios beyond network coding,
+// once the network coding related modules are replaced by other
+// application-specific modules."
+//
+// A PacketFunction consumes one arriving payload and yields zero or more
+// payloads to emit downstream; MiddleboxVnf (middlebox.hpp) hosts a chain
+// of them on a node with the same processing-lane model as the coding
+// VNF. The network-coding data plane keeps its specialized implementation
+// (CodingVnf) for performance; these functions cover the framework's
+// other middlebox roles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ncfn::vnf {
+
+class PacketFunction {
+ public:
+  virtual ~PacketFunction() = default;
+  /// Process one arriving payload. Each returned payload is emitted to
+  /// every configured next hop; returning {} swallows the packet.
+  virtual std::vector<std::vector<std::uint8_t>> process(
+      std::span<const std::uint8_t> payload) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Forwards every packet unchanged (a monitoring tap / pure relay).
+class PassthroughFunction final : public PacketFunction {
+ public:
+  std::vector<std::vector<std::uint8_t>> process(
+      std::span<const std::uint8_t> payload) override {
+    ++seen_;
+    return {std::vector<std::uint8_t>(payload.begin(), payload.end())};
+  }
+  [[nodiscard]] std::string name() const override { return "passthrough"; }
+  [[nodiscard]] std::uint64_t packets_seen() const { return seen_; }
+
+ private:
+  std::uint64_t seen_ = 0;
+};
+
+/// Forwards one packet in N (telemetry mirror / sampled monitoring).
+class SamplerFunction final : public PacketFunction {
+ public:
+  explicit SamplerFunction(std::uint32_t one_in_n) : n_(one_in_n) {}
+  std::vector<std::vector<std::uint8_t>> process(
+      std::span<const std::uint8_t> payload) override {
+    if (++count_ % n_ != 0) return {};
+    return {std::vector<std::uint8_t>(payload.begin(), payload.end())};
+  }
+  [[nodiscard]] std::string name() const override { return "sampler"; }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t count_ = 0;
+};
+
+/// Appends a 4-byte FNV-1a checksum trailer (integrity middlebox, tag
+/// side). Pair with ChecksumVerifyFunction downstream.
+class ChecksumTagFunction final : public PacketFunction {
+ public:
+  std::vector<std::vector<std::uint8_t>> process(
+      std::span<const std::uint8_t> payload) override;
+  [[nodiscard]] std::string name() const override { return "checksum-tag"; }
+
+  [[nodiscard]] static std::uint32_t fnv1a(std::span<const std::uint8_t> d);
+};
+
+/// Strips and validates the checksum trailer; drops corrupt packets.
+class ChecksumVerifyFunction final : public PacketFunction {
+ public:
+  std::vector<std::vector<std::uint8_t>> process(
+      std::span<const std::uint8_t> payload) override;
+  [[nodiscard]] std::string name() const override { return "checksum-verify"; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::uint64_t dropped_ = 0;
+};
+
+/// Byte-level run-length compressor (WAN-optimizer stand-in). Escape
+/// byte 0xAA: runs of >= 4 equal bytes become {0xAA, byte, count}; a
+/// literal 0xAA is {0xAA, 0xAA, 0}. Pair with RleDecompressFunction.
+class RleCompressFunction final : public PacketFunction {
+ public:
+  std::vector<std::vector<std::uint8_t>> process(
+      std::span<const std::uint8_t> payload) override;
+  [[nodiscard]] std::string name() const override { return "rle-compress"; }
+  [[nodiscard]] static std::vector<std::uint8_t> compress(
+      std::span<const std::uint8_t> in);
+};
+
+class RleDecompressFunction final : public PacketFunction {
+ public:
+  std::vector<std::vector<std::uint8_t>> process(
+      std::span<const std::uint8_t> payload) override;
+  [[nodiscard]] std::string name() const override { return "rle-decompress"; }
+  [[nodiscard]] static std::vector<std::uint8_t> decompress(
+      std::span<const std::uint8_t> in);
+};
+
+}  // namespace ncfn::vnf

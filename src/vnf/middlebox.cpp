@@ -1,0 +1,66 @@
+#include "vnf/middlebox.hpp"
+
+#include <algorithm>
+
+namespace ncfn::vnf {
+
+MiddleboxVnf::MiddleboxVnf(netsim::Network& net, netsim::NodeId node,
+                           MiddleboxConfig cfg)
+    : net_(net), node_(node), cfg_(cfg) {
+  net_.bind(node_, cfg_.port,
+            [this](const netsim::Datagram& d) { on_datagram(d); });
+}
+
+MiddleboxVnf::~MiddleboxVnf() { net_.unbind(node_, cfg_.port); }
+
+void MiddleboxVnf::add_function(std::unique_ptr<PacketFunction> fn) {
+  chain_.push_back(std::move(fn));
+}
+
+void MiddleboxVnf::on_datagram(const netsim::Datagram& d) {
+  if (queued_ >= cfg_.proc_queue_limit) {
+    ++stats_.proc_dropped;
+    return;
+  }
+  ++queued_;
+  const double service =
+      cfg_.fixed_overhead_s +
+      static_cast<double>(d.payload.size()) / cfg_.proc_rate_Bps;
+  netsim::Simulator& sim = net_.sim();
+  const netsim::Time start = std::max(sim.now(), busy_until_);
+  busy_until_ = start + service;
+  sim.schedule_at(busy_until_, [this, p = d.payload]() mutable {
+    --queued_;
+    process(std::move(p));
+  });
+}
+
+void MiddleboxVnf::process(std::vector<std::uint8_t> payload) {
+  ++stats_.received;
+  std::vector<std::vector<std::uint8_t>> stage{std::move(payload)};
+  for (const auto& fn : chain_) {
+    std::vector<std::vector<std::uint8_t>> next;
+    for (const auto& p : stage) {
+      auto outs = fn->process(p);
+      for (auto& o : outs) next.push_back(std::move(o));
+    }
+    stage = std::move(next);
+    if (stage.empty()) break;
+  }
+  if (stage.empty()) {
+    ++stats_.swallowed;
+    return;
+  }
+  for (const auto& out : stage) {
+    for (const ctrl::NextHop& hop : hops_) {
+      netsim::Datagram d;
+      d.src = node_;
+      d.dst = hop.node;
+      d.dst_port = hop.port;
+      d.payload = out;
+      if (net_.send(std::move(d))) ++stats_.emitted;
+    }
+  }
+}
+
+}  // namespace ncfn::vnf

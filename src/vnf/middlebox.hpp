@@ -1,0 +1,72 @@
+// Generic middlebox VNF host: the modular counterpart of CodingVnf
+// (Sec. VI's modularization direction). Binds a UDP port on a node, runs
+// each arriving payload through a chain of PacketFunctions under the same
+// processing-lane model as the coding VNF (per-packet service time,
+// queue-limited lanes), and emits the survivors to its next hops.
+//
+// Service chaining: functions run in order; each stage fans its outputs
+// into the next ("tag checksum -> sample 1/N -> compress" is three
+// chained stages on one middlebox, or three middleboxes on a path).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ctrl/fwdtable.hpp"
+#include "netsim/network.hpp"
+#include "vnf/function.hpp"
+
+namespace ncfn::vnf {
+
+struct MiddleboxConfig {
+  netsim::Port port = 25000;
+  /// Per-payload processing cost: fixed + bytes / rate.
+  double proc_rate_Bps = 1e9;
+  double fixed_overhead_s = 5e-6;
+  std::size_t proc_queue_limit = 4096;
+};
+
+struct MiddleboxStats {
+  std::uint64_t received = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t swallowed = 0;     // chain returned no output
+  std::uint64_t proc_dropped = 0;  // lane saturated
+};
+
+class MiddleboxVnf {
+ public:
+  MiddleboxVnf(netsim::Network& net, netsim::NodeId node,
+               MiddleboxConfig cfg);
+  ~MiddleboxVnf();
+
+  MiddleboxVnf(const MiddleboxVnf&) = delete;
+  MiddleboxVnf& operator=(const MiddleboxVnf&) = delete;
+
+  /// Append a stage to the service chain (runs in push order).
+  void add_function(std::unique_ptr<PacketFunction> fn);
+  [[nodiscard]] std::size_t chain_length() const { return chain_.size(); }
+  [[nodiscard]] PacketFunction& function(std::size_t i) {
+    return *chain_.at(i);
+  }
+
+  void set_next_hops(std::vector<ctrl::NextHop> hops) {
+    hops_ = std::move(hops);
+  }
+
+  [[nodiscard]] const MiddleboxStats& stats() const { return stats_; }
+
+ private:
+  void on_datagram(const netsim::Datagram& d);
+  void process(std::vector<std::uint8_t> payload);
+
+  netsim::Network& net_;
+  netsim::NodeId node_;
+  MiddleboxConfig cfg_;
+  std::vector<std::unique_ptr<PacketFunction>> chain_;
+  std::vector<ctrl::NextHop> hops_;
+  netsim::Time busy_until_ = 0;
+  std::size_t queued_ = 0;
+  MiddleboxStats stats_;
+};
+
+}  // namespace ncfn::vnf

@@ -1,0 +1,310 @@
+// Unit tests for the RLNC codec: header wire format, generation
+// segmentation, encode/decode round trips, relay recoding, and the FIFO
+// generation buffer.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "coding/buffer.hpp"
+#include "coding/decoder.hpp"
+#include "coding/encoder.hpp"
+#include "coding/generation.hpp"
+#include "coding/generic_codec.hpp"
+#include "coding/packet.hpp"
+
+using namespace ncfn;
+using namespace ncfn::coding;
+
+namespace {
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> d(0, 255);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(d(rng));
+  return out;
+}
+}  // namespace
+
+TEST(CodingParams, SizesMatchThePaper) {
+  CodingParams p;  // defaults: 1460-byte blocks, 4 per generation
+  EXPECT_EQ(p.block_size, 1460u);
+  EXPECT_EQ(p.generation_blocks, 4u);
+  EXPECT_EQ(p.header_bytes(), 12u);  // 8 B ids + 4 coefficients
+  // NC packet + UDP (8) + IP (20) must equal the 1500-byte MTU.
+  EXPECT_EQ(p.packet_bytes() + 8 + 20, 1500u);
+  EXPECT_EQ(p.buffer_generations, 1024u);
+}
+
+TEST(Packet, SerializeParseRoundTrip) {
+  CodingParams p;
+  CodedPacket pkt;
+  pkt.session = 0xDEADBEEF;
+  pkt.generation = 42;
+  pkt.coeffs = {1, 2, 3, 4};
+  pkt.payload = random_bytes(p.block_size, 7);
+  const auto wire = pkt.serialize();
+  EXPECT_EQ(wire.size(), p.packet_bytes());
+  const auto back = CodedPacket::parse(wire, p);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->session, pkt.session);
+  EXPECT_EQ(back->generation, pkt.generation);
+  EXPECT_EQ(back->coeffs, pkt.coeffs);
+  EXPECT_EQ(back->payload, pkt.payload);
+}
+
+TEST(Packet, ParseRejectsWrongSize) {
+  CodingParams p;
+  std::vector<std::uint8_t> wire(p.packet_bytes() - 1, 0);
+  EXPECT_FALSE(CodedPacket::parse(wire, p).has_value());
+  wire.resize(p.packet_bytes() + 3, 0);
+  EXPECT_FALSE(CodedPacket::parse(wire, p).has_value());
+}
+
+TEST(Packet, SystematicIndexDetection) {
+  CodedPacket pkt;
+  pkt.coeffs = {0, 1, 0, 0};
+  EXPECT_EQ(pkt.systematic_index(), 1u);
+  pkt.coeffs = {0, 2, 0, 0};
+  EXPECT_FALSE(pkt.systematic_index().has_value());
+  pkt.coeffs = {1, 1, 0, 0};
+  EXPECT_FALSE(pkt.systematic_index().has_value());
+  pkt.coeffs = {0, 0, 0, 0};
+  EXPECT_FALSE(pkt.systematic_index().has_value());  // all-zero: not valid
+}
+
+TEST(Generation, PadsTailBlock) {
+  CodingParams p;
+  p.block_size = 10;
+  p.generation_blocks = 3;
+  const auto data = random_bytes(17, 3);
+  Generation gen(5, data, p);
+  EXPECT_EQ(gen.id(), 5u);
+  EXPECT_EQ(gen.block_count(), 3u);
+  EXPECT_EQ(gen.payload_bytes(), 17u);
+  // Block 1 is half data, half zero padding; block 2 all padding.
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(gen.block(0)[i], data[i]);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(gen.block(1)[i], data[10 + i]);
+  for (std::size_t i = 7; i < 10; ++i) EXPECT_EQ(gen.block(1)[i], 0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(gen.block(2)[i], 0);
+}
+
+TEST(Generation, SplitCoversAllBytes) {
+  CodingParams p;
+  p.block_size = 100;
+  p.generation_blocks = 4;
+  const auto data = random_bytes(1234, 11);
+  const auto gens = split_into_generations(data, p, 10);
+  ASSERT_EQ(gens.size(), 4u);  // ceil(1234 / 400)
+  EXPECT_EQ(gens[0].id(), 10u);
+  EXPECT_EQ(gens[3].id(), 13u);
+  EXPECT_EQ(gens[3].payload_bytes(), 1234u - 3 * 400u);
+}
+
+class RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RoundTrip, RandomCodedPacketsDecode) {
+  const std::size_t g = GetParam();
+  CodingParams p;
+  p.block_size = 64;
+  p.generation_blocks = g;
+  std::mt19937 rng(17);
+  const auto data = random_bytes(p.generation_bytes(), 23);
+  Generation gen(0, data, p);
+  Encoder enc(9, gen, rng);
+  Decoder dec(9, 0, p);
+
+  std::size_t fed = 0;
+  while (!dec.complete()) {
+    dec.add(enc.encode_random());
+    ++fed;
+    ASSERT_LE(fed, g + 20) << "decoder is not converging";
+  }
+  EXPECT_EQ(dec.rank(), g);
+  const auto blocks = dec.recover();
+  ASSERT_EQ(blocks.size(), g);
+  for (std::size_t i = 0; i < g; ++i) {
+    EXPECT_EQ(std::vector<std::uint8_t>(gen.block(i).begin(),
+                                        gen.block(i).end()),
+              blocks[i])
+        << "block " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GenerationSizes, RoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32, 64));
+
+TEST(Decoder, SystematicPacketsDecodeWithExactlyG) {
+  CodingParams p;
+  p.block_size = 32;
+  p.generation_blocks = 6;
+  std::mt19937 rng(19);
+  const auto data = random_bytes(p.generation_bytes(), 29);
+  Generation gen(1, data, p);
+  Encoder enc(2, gen, rng);
+  Decoder dec(2, 1, p);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(dec.add(enc.encode_systematic(i)));
+  }
+  EXPECT_TRUE(dec.complete());
+}
+
+TEST(Decoder, DuplicatePacketIsNotInnovative) {
+  CodingParams p;
+  p.block_size = 16;
+  p.generation_blocks = 4;
+  std::mt19937 rng(31);
+  const auto data = random_bytes(p.generation_bytes(), 37);
+  Generation gen(0, data, p);
+  Encoder enc(1, gen, rng);
+  Decoder dec(1, 0, p);
+  const auto pkt = enc.encode_random();
+  EXPECT_TRUE(dec.add(pkt));
+  EXPECT_FALSE(dec.add(pkt));
+  EXPECT_EQ(dec.rank(), 1u);
+  EXPECT_EQ(dec.packets_seen(), 2u);
+}
+
+TEST(Decoder, LinearCombinationOfReceivedIsNotInnovative) {
+  CodingParams p;
+  p.block_size = 16;
+  p.generation_blocks = 4;
+  std::mt19937 rng(41);
+  const auto data = random_bytes(p.generation_bytes(), 43);
+  Generation gen(0, data, p);
+  Encoder enc(1, gen, rng);
+  Decoder dec(1, 0, p);
+  const auto a = enc.encode_with(std::vector<std::uint8_t>{1, 2, 0, 0});
+  const auto b = enc.encode_with(std::vector<std::uint8_t>{0, 0, 3, 1});
+  ASSERT_TRUE(dec.add(a));
+  ASSERT_TRUE(dec.add(b));
+  // a + b is in the span.
+  const auto c = enc.encode_with(std::vector<std::uint8_t>{1, 2, 3, 1});
+  EXPECT_FALSE(dec.add(c));
+}
+
+TEST(Decoder, RecodedPacketsFromRelayChainDecode) {
+  // source -> relay1 -> relay2 -> destination, all via recode().
+  CodingParams p;
+  p.block_size = 128;
+  p.generation_blocks = 4;
+  std::mt19937 rng(53);
+  const auto data = random_bytes(p.generation_bytes(), 59);
+  Generation gen(7, data, p);
+  Encoder enc(3, gen, rng);
+  Decoder relay1(3, 7, p), relay2(3, 7, p), dst(3, 7, p);
+
+  int guard = 0;
+  while (!dst.complete()) {
+    ASSERT_LT(guard++, 200);
+    relay1.add(enc.encode_random());
+    if (relay1.rank() > 0) relay2.add(relay1.recode(rng));
+    if (relay2.rank() > 0) dst.add(relay2.recode(rng));
+  }
+  const auto blocks = dst.recover();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(std::vector<std::uint8_t>(gen.block(i).begin(),
+                                        gen.block(i).end()),
+              blocks[i]);
+  }
+}
+
+TEST(Decoder, RecodeNeverLeavesRowSpace) {
+  CodingParams p;
+  p.block_size = 8;
+  p.generation_blocks = 4;
+  std::mt19937 rng(61);
+  const auto data = random_bytes(p.generation_bytes(), 67);
+  Generation gen(0, data, p);
+  Encoder enc(1, gen, rng);
+  Decoder partial(1, 0, p);
+  partial.add(enc.encode_systematic(0));
+  partial.add(enc.encode_systematic(1));
+  ASSERT_EQ(partial.rank(), 2u);
+  // Recoded packets from a rank-2 relay can never raise another rank-2
+  // decoder that holds the same subspace to rank 3.
+  Decoder other(1, 0, p);
+  other.add(enc.encode_systematic(0));
+  other.add(enc.encode_systematic(1));
+  for (int i = 0; i < 50; ++i) {
+    other.add(partial.recode(rng));
+  }
+  EXPECT_EQ(other.rank(), 2u);
+}
+
+TEST(Buffer, CreatesAndFindsState) {
+  CodingParams p;
+  GenerationBuffer buf(p);
+  EXPECT_EQ(buf.find(1, 0), nullptr);
+  Decoder& d = buf.state(1, 0);
+  EXPECT_EQ(&d, buf.find(1, 0));
+  EXPECT_EQ(buf.generations_buffered(), 1u);
+}
+
+TEST(Buffer, FifoEvictionPerSession) {
+  CodingParams p;
+  p.buffer_generations = 3;
+  GenerationBuffer buf(p);
+  buf.state(1, 10);
+  buf.state(1, 11);
+  buf.state(1, 12);
+  buf.state(2, 99);  // other session: independent budget
+  EXPECT_EQ(buf.evictions(), 0u);
+  buf.state(1, 13);  // evicts (1, 10)
+  EXPECT_EQ(buf.evictions(), 1u);
+  EXPECT_EQ(buf.find(1, 10), nullptr);
+  EXPECT_NE(buf.find(1, 11), nullptr);
+  EXPECT_NE(buf.find(2, 99), nullptr);
+}
+
+TEST(Buffer, EraseSessionDropsAllItsGenerations) {
+  CodingParams p;
+  GenerationBuffer buf(p);
+  buf.state(1, 0);
+  buf.state(1, 1);
+  buf.state(2, 0);
+  buf.erase_session(1);
+  EXPECT_EQ(buf.find(1, 0), nullptr);
+  EXPECT_EQ(buf.find(1, 1), nullptr);
+  EXPECT_NE(buf.find(2, 0), nullptr);
+  EXPECT_EQ(buf.generations_buffered(), 1u);
+}
+
+TEST(Buffer, EraseSingleGeneration) {
+  CodingParams p;
+  p.buffer_generations = 2;
+  GenerationBuffer buf(p);
+  buf.state(1, 0);
+  buf.state(1, 1);
+  buf.erase(1, 0);
+  EXPECT_EQ(buf.find(1, 0), nullptr);
+  buf.state(1, 2);  // fits without eviction now
+  EXPECT_EQ(buf.evictions(), 0u);
+}
+
+// ---- Generic (field-parameterized) codec ----
+
+template <unsigned M>
+void generic_roundtrip() {
+  ncfn::gf::Field<M> field;
+  using Elem = typename ncfn::gf::Field<M>::Elem;
+  std::mt19937 rng(71);
+  const std::size_t g = 4, elems = 64;
+  std::vector<std::vector<Elem>> blocks(g);
+  std::uniform_int_distribution<unsigned> d(0, ncfn::gf::Field<M>::kMax);
+  for (auto& b : blocks) {
+    b.resize(elems);
+    for (auto& e : b) e = static_cast<Elem>(d(rng));
+  }
+  ncfn::coding::GenericEncoder<M> enc(field, blocks);
+  ncfn::coding::GenericDecoder<M> dec(field, g, elems);
+  int guard = 0;
+  while (!dec.complete()) {
+    ASSERT_LT(guard++, 100);
+    dec.add(enc.encode_random(rng));
+  }
+  EXPECT_EQ(dec.recover(), blocks);
+}
+
+TEST(GenericCodec, RoundTripGf16) { generic_roundtrip<4>(); }
+TEST(GenericCodec, RoundTripGf256) { generic_roundtrip<8>(); }
+TEST(GenericCodec, RoundTripGf65536) { generic_roundtrip<16>(); }

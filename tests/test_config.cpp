@@ -1,0 +1,139 @@
+// Tests for the scenario file format parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "app/config.hpp"
+#include "ctrl/problem.hpp"
+
+using namespace ncfn;
+using namespace ncfn::app;
+
+namespace {
+const char* kButterfly = R"(
+# comment
+alpha 0
+node V1 host
+node O2 host
+node C2 host
+node O1 dc bin=200 bout=200 cap=200
+node C1 dc bin=200 bout=200 cap=200
+node T  dc bin=200 bout=200 cap=200
+node V2 dc bin=200 bout=200 cap=200
+edge V1 O1 30 35
+edge V1 C1 25 35
+edge O1 O2 15 35
+edge C1 C2 12 35
+edge O1 T  20 35
+edge C1 T  17 35
+edge T  V2 18 35
+edge V2 O2 21 35
+edge V2 C2 19 35
+session 1 V1 -> O2 C2 lmax=150
+)";
+}  // namespace
+
+TEST(Config, ParsesButterflyScenario) {
+  ParseError err;
+  const auto s = parse_scenario(kButterfly, &err);
+  ASSERT_TRUE(s.has_value()) << err.line << ": " << err.message;
+  EXPECT_EQ(s->topo.node_count(), 7);
+  EXPECT_EQ(s->topo.edge_count(), 9);
+  EXPECT_DOUBLE_EQ(s->alpha, 0.0);
+  ASSERT_EQ(s->sessions.size(), 1u);
+  EXPECT_EQ(s->sessions[0].id, 1u);
+  EXPECT_EQ(s->sessions[0].receivers.size(), 2u);
+  EXPECT_NEAR(s->sessions[0].lmax_s, 0.150, 1e-12);
+  // Node attributes converted to bps.
+  const auto o1 = s->nodes.at("O1");
+  EXPECT_EQ(s->topo.node(o1).kind, graph::NodeKind::kDataCenter);
+  EXPECT_NEAR(s->topo.node(o1).bin_bps, 200e6, 1);
+  // Edge attributes: ms -> s, Mbps -> bps.
+  const auto e = s->topo.find_edge(s->nodes.at("V1"), s->nodes.at("O1"));
+  ASSERT_NE(e, -1);
+  EXPECT_NEAR(s->topo.edge(e).delay_s, 0.030, 1e-12);
+  EXPECT_NEAR(s->topo.edge(e).capacity_bps, 35e6, 1);
+}
+
+TEST(Config, ParsedScenarioSolvesToButterflyCapacity) {
+  const auto s = parse_scenario(kButterfly);
+  ASSERT_TRUE(s.has_value());
+  ctrl::DeploymentProblem prob;
+  prob.topo = &s->topo;
+  prob.sessions = s->sessions;
+  prob.alpha = s->alpha;
+  const auto plan = ctrl::solve_deployment(prob);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.lambda_mbps[0], 70.0, 0.5);
+}
+
+TEST(Config, DuplexCreatesBothDirections) {
+  const auto s = parse_scenario(
+      "node a dc\nnode b dc\nduplex a b 10 50\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NE(s->topo.find_edge(0, 1), -1);
+  EXPECT_NE(s->topo.find_edge(1, 0), -1);
+}
+
+TEST(Config, UncappedEdgeIsInfinite) {
+  const auto s = parse_scenario("node a dc\nnode b dc\nedge a b 5\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_FALSE(std::isfinite(s->topo.edge(0).capacity_bps));
+}
+
+TEST(Config, SessionOptions) {
+  const auto s = parse_scenario(
+      "node a host\nnode b host\nnode d dc\n"
+      "edge a d 5\nedge d b 5\n"
+      "session 7 a -> b lmax=80 rate=25 maxrate=100\n");
+  ASSERT_TRUE(s.has_value());
+  const auto& spec = s->sessions.at(0);
+  EXPECT_EQ(spec.id, 7u);
+  EXPECT_NEAR(spec.lmax_s, 0.080, 1e-12);
+  ASSERT_TRUE(spec.fixed_rate_mbps.has_value());
+  EXPECT_DOUBLE_EQ(*spec.fixed_rate_mbps, 25.0);
+  ASSERT_TRUE(spec.max_rate_mbps.has_value());
+  EXPECT_DOUBLE_EQ(*spec.max_rate_mbps, 100.0);
+}
+
+TEST(Config, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    int line;
+  };
+  const Case cases[] = {
+      {"node a dc\nnode a host\n", 2},            // duplicate name
+      {"node a dc\nedge a bogus 5\n", 2},         // unknown node
+      {"wibble\n", 1},                            // unknown keyword
+      {"node a wrongkind\n", 1},                  // bad node kind
+      {"node a dc zap=1\n", 1},                   // unknown option
+      {"node a dc\nnode b host\nedge a b xyz\n", 3},  // bad delay
+      {"node a host\nsession 1 a ->\n", 2},       // no receivers
+      {"alpha banana\n", 1},                      // bad alpha
+      {"node s host\nnode d host\n"
+       "session 1 s -> d\nsession 1 s -> d\n", 4},  // duplicate session id
+  };
+  for (const Case& c : cases) {
+    ParseError err;
+    EXPECT_FALSE(parse_scenario(c.text, &err).has_value()) << c.text;
+    EXPECT_EQ(err.line, c.line) << c.text << " -> " << err.message;
+  }
+}
+
+TEST(Config, LoadScenarioReportsMissingFile) {
+  ParseError err;
+  EXPECT_FALSE(load_scenario("/nonexistent/path.ncfn", &err).has_value());
+  EXPECT_EQ(err.line, 0);
+}
+
+TEST(Config, ShippedScenarioFilesParse) {
+  // The repository's example scenario files must stay valid.
+  for (const char* path : {"tools/scenarios/butterfly.ncfn",
+                           "tools/scenarios/two_sessions.ncfn"}) {
+    ParseError err;
+    const auto s = load_scenario(std::string(NCFN_SOURCE_DIR) + "/" + path,
+                                 &err);
+    EXPECT_TRUE(s.has_value())
+        << path << ":" << err.line << ": " << err.message;
+  }
+}

@@ -1,0 +1,179 @@
+// Robustness tests: every wire-format parser must survive arbitrary
+// bytes — malformed control traffic or corrupted datagrams must never
+// crash a VNF, only be rejected. Randomized (seeded) byte soup plus
+// targeted mutations of valid messages.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "app/messages.hpp"
+#include "coding/packet.hpp"
+#include "ctrl/fwdtable.hpp"
+#include "ctrl/signals.hpp"
+
+using namespace ncfn;
+
+namespace {
+std::vector<std::uint8_t> random_bytes(std::mt19937& rng, std::size_t n) {
+  std::uniform_int_distribution<int> d(0, 255);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(d(rng));
+  return out;
+}
+std::string random_text(std::mt19937& rng, std::size_t n) {
+  // Printable-ish soup with newlines and spaces sprinkled in.
+  std::uniform_int_distribution<int> d(0, 99);
+  std::string out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int r = d(rng);
+    if (r < 10) {
+      out += '\n';
+    } else if (r < 25) {
+      out += ' ';
+    } else if (r < 35) {
+      out += static_cast<char>('0' + r % 10);
+    } else {
+      out += static_cast<char>('!' + r % 90);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+TEST(Fuzz, CodedPacketParseSurvivesByteSoup) {
+  coding::CodingParams params;
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<std::size_t> len(0, 3000);
+  for (int i = 0; i < 2000; ++i) {
+    const auto wire = random_bytes(rng, len(rng));
+    const auto pkt = coding::CodedPacket::parse(wire, params);
+    // Only exactly-sized datagrams may parse; contents are then taken
+    // verbatim (there is no checksum at this layer, like UDP payloads).
+    EXPECT_EQ(pkt.has_value(), wire.size() == params.packet_bytes());
+  }
+}
+
+TEST(Fuzz, FeedbackParseSurvivesByteSoup) {
+  std::mt19937 rng(2);
+  std::uniform_int_distribution<std::size_t> len(0, 64);
+  int accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto wire = random_bytes(rng, len(rng));
+    const auto fb = app::Feedback::parse(wire);
+    if (fb.has_value()) {
+      ++accepted;
+      EXPECT_EQ(wire.size(), 23u);
+      EXPECT_TRUE(fb->type == app::FeedbackType::kRepair ||
+                  fb->type == app::FeedbackType::kAck);
+    }
+  }
+  // 23-byte random messages pass only with a valid type byte (2/256).
+  EXPECT_LT(accepted, 50);
+}
+
+TEST(Fuzz, ForwardingTableParseSurvivesTextSoup) {
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<std::size_t> len(0, 400);
+  for (int i = 0; i < 3000; ++i) {
+    const auto text = random_text(rng, len(rng));
+    const auto tab = ctrl::ForwardingTable::parse(text);  // no crash
+    if (tab.has_value()) {
+      // Anything accepted must re-serialize and re-parse to itself.
+      const auto again = ctrl::ForwardingTable::parse(tab->serialize());
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(*again, *tab);
+    }
+  }
+}
+
+TEST(Fuzz, SignalParseSurvivesTextSoup) {
+  std::mt19937 rng(4);
+  std::uniform_int_distribution<std::size_t> len(0, 400);
+  for (int i = 0; i < 3000; ++i) {
+    const auto text = random_text(rng, len(rng));
+    const auto sig = ctrl::parse_signal(text);  // must not crash or throw
+    if (sig.has_value()) {
+      const auto again = ctrl::parse_signal(ctrl::serialize(*sig));
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(again->index(), sig->index());
+    }
+  }
+}
+
+TEST(Fuzz, SignalParseSurvivesMutatedValidMessages) {
+  // Start from each valid signal and flip/insert/truncate characters.
+  ctrl::ForwardingTable tab;
+  tab.set(3, {ctrl::NextHop{1, 20003}});
+  const ctrl::Signal signals[] = {
+      ctrl::NcStart{1},
+      ctrl::NcVnfStart{2, 3},
+      ctrl::NcVnfEnd{4, 600.0},
+      ctrl::NcForwardTab{tab},
+      ctrl::NcSettings{{ctrl::SessionSetting{3, ctrl::VnfRole::kRecode,
+                                             20003}},
+                       4, 1460},
+  };
+  std::mt19937 rng(5);
+  for (const auto& base : signals) {
+    const std::string text = ctrl::serialize(base);
+    for (int trial = 0; trial < 500; ++trial) {
+      std::string mutated = text;
+      std::uniform_int_distribution<std::size_t> pos(0, mutated.size() - 1);
+      switch (trial % 3) {
+        case 0:  // flip a character
+          mutated[pos(rng)] = static_cast<char>(rng() % 128);
+          break;
+        case 1:  // truncate
+          mutated.resize(pos(rng));
+          break;
+        case 2:  // duplicate a chunk
+          mutated.insert(pos(rng), mutated.substr(0, pos(rng) % 16));
+          break;
+      }
+      (void)ctrl::parse_signal(mutated);  // no crash, no throw
+    }
+  }
+}
+
+TEST(Fuzz, FeedbackRoundTripIsStableOverRandomFields) {
+  std::mt19937 rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    app::Feedback f;
+    f.type = (rng() & 1) ? app::FeedbackType::kRepair
+                         : app::FeedbackType::kAck;
+    f.session = rng();
+    f.generation = rng();
+    f.count = static_cast<std::uint16_t>(rng());
+    f.block_mask = (static_cast<std::uint64_t>(rng()) << 32) | rng();
+    f.receiver_node = rng();
+    const auto back = app::Feedback::parse(f.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->session, f.session);
+    EXPECT_EQ(back->generation, f.generation);
+    EXPECT_EQ(back->count, f.count);
+    EXPECT_EQ(back->block_mask, f.block_mask);
+    EXPECT_EQ(back->receiver_node, f.receiver_node);
+  }
+}
+
+TEST(Fuzz, ForwardingTableRoundTripOverRandomTables) {
+  std::mt19937 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    ctrl::ForwardingTable tab;
+    const int sessions = static_cast<int>(rng() % 20);
+    for (int s = 0; s < sessions; ++s) {
+      std::vector<ctrl::NextHop> hops;
+      const int nh = static_cast<int>(rng() % 5);
+      for (int h = 0; h < nh; ++h) {
+        hops.push_back(ctrl::NextHop{static_cast<std::uint32_t>(rng()),
+                                     static_cast<std::uint16_t>(rng())});
+      }
+      tab.set(static_cast<coding::SessionId>(rng()), std::move(hops));
+    }
+    const auto back = ctrl::ForwardingTable::parse(tab.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, tab);
+  }
+}

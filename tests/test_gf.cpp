@@ -1,0 +1,280 @@
+// Unit tests for GF(2^8) and the generic GF(2^m) fields: field axioms,
+// table consistency, and the bulk buffer kernels the codec hot path uses.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "gf/gf256.hpp"
+#include "gf/gf_generic.hpp"
+
+namespace gf = ncfn::gf;
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(gf::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(gf::sub(0x53, 0xCA), gf::add(0x53, 0xCA));
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(gf::add(static_cast<gf::u8>(a), static_cast<gf::u8>(a)), 0);
+  }
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<gf::u8>(a);
+    EXPECT_EQ(gf::mul(x, 1), x);
+    EXPECT_EQ(gf::mul(1, x), x);
+    EXPECT_EQ(gf::mul(x, 0), 0);
+    EXPECT_EQ(gf::mul(0, x), 0);
+  }
+}
+
+TEST(Gf256, MultiplicationCommutes) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; ++b) {
+      EXPECT_EQ(gf::mul(static_cast<gf::u8>(a), static_cast<gf::u8>(b)),
+                gf::mul(static_cast<gf::u8>(b), static_cast<gf::u8>(a)));
+    }
+  }
+}
+
+TEST(Gf256, MultiplicationAssociates) {
+  std::mt19937 rng(1);
+  std::uniform_int_distribution<int> d(0, 255);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<gf::u8>(d(rng));
+    const auto b = static_cast<gf::u8>(d(rng));
+    const auto c = static_cast<gf::u8>(d(rng));
+    EXPECT_EQ(gf::mul(gf::mul(a, b), c), gf::mul(a, gf::mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  std::mt19937 rng(2);
+  std::uniform_int_distribution<int> d(0, 255);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<gf::u8>(d(rng));
+    const auto b = static_cast<gf::u8>(d(rng));
+    const auto c = static_cast<gf::u8>(d(rng));
+    EXPECT_EQ(gf::mul(a, gf::add(b, c)),
+              gf::add(gf::mul(a, b), gf::mul(a, c)));
+  }
+}
+
+TEST(Gf256, InverseIsExact) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<gf::u8>(a);
+    EXPECT_EQ(gf::mul(x, gf::inv(x)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 1; b < 256; b += 5) {
+      const auto x = static_cast<gf::u8>(a);
+      const auto y = static_cast<gf::u8>(b);
+      EXPECT_EQ(gf::div(gf::mul(x, y), y), x);
+    }
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication) {
+  for (int a = 0; a < 256; a += 11) {
+    gf::u8 acc = 1;
+    for (unsigned e = 0; e < 16; ++e) {
+      EXPECT_EQ(gf::pow(static_cast<gf::u8>(a), e), acc) << a << "^" << e;
+      acc = gf::mul(acc, static_cast<gf::u8>(a));
+    }
+  }
+  EXPECT_EQ(gf::pow(0, 0), 1);
+  EXPECT_EQ(gf::pow(0, 5), 0);
+}
+
+TEST(Gf256, MultiplicativeOrderDividesFieldOrder) {
+  // g = 2 is primitive: its order must be exactly 255.
+  gf::u8 x = 2;
+  int order = 1;
+  while (x != 1) {
+    x = gf::mul(x, 2);
+    ++order;
+  }
+  EXPECT_EQ(order, 255);
+}
+
+TEST(Gf256Bulk, XorMatchesScalar) {
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int> d(0, 255);
+  std::vector<gf::u8> a(1460), b(1460), expect(1460);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<gf::u8>(d(rng));
+    b[i] = static_cast<gf::u8>(d(rng));
+    expect[i] = gf::add(a[i], b[i]);
+  }
+  gf::bulk_xor(a, b);
+  EXPECT_EQ(a, expect);
+}
+
+TEST(Gf256Bulk, MulAddMatchesScalar) {
+  std::mt19937 rng(4);
+  std::uniform_int_distribution<int> d(0, 255);
+  for (const int coeff : {0, 1, 2, 37, 255}) {
+    std::vector<gf::u8> dst(777), src(777), expect(777);
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = static_cast<gf::u8>(d(rng));
+      src[i] = static_cast<gf::u8>(d(rng));
+      expect[i] = gf::add(dst[i], gf::mul(static_cast<gf::u8>(coeff), src[i]));
+    }
+    gf::bulk_muladd(dst, src, static_cast<gf::u8>(coeff));
+    EXPECT_EQ(dst, expect) << "coeff=" << coeff;
+  }
+}
+
+TEST(Gf256Bulk, MulByZeroClearsAndByOneKeeps) {
+  std::vector<gf::u8> v{1, 2, 3, 250};
+  auto keep = v;
+  gf::bulk_mul(v, 1);
+  EXPECT_EQ(v, keep);
+  gf::bulk_mul(v, 0);
+  EXPECT_EQ(v, (std::vector<gf::u8>{0, 0, 0, 0}));
+}
+
+TEST(Gf256Bulk, MulMatchesScalar) {
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<int> d(0, 255);
+  std::vector<gf::u8> v(333), expect(333);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<gf::u8>(d(rng));
+    expect[i] = gf::mul(static_cast<gf::u8>(0x8E), v[i]);
+  }
+  gf::bulk_mul(v, 0x8E);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(Gf256Bulk, DotProduct) {
+  const std::vector<gf::u8> a{1, 0, 3};
+  const std::vector<gf::u8> b{5, 9, 2};
+  const gf::u8 want = gf::add(gf::mul(1, 5), gf::mul(3, 2));
+  EXPECT_EQ(gf::dot(a, b), want);
+}
+
+// ---- SIMD kernels ----
+
+#include "gf/gf256_simd.hpp"
+
+TEST(Gf256Simd, MulAddMatchesScalarAtEverySizeAndAlignment) {
+  if (!gf::simd::available()) GTEST_SKIP() << "no SSSE3 on this target";
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<int> d(0, 255);
+  // Sizes straddling the 16-byte vector width and the dispatch threshold,
+  // plus unaligned starting offsets.
+  for (const std::size_t size : {64u, 65u, 79u, 128u, 1460u, 4097u}) {
+    for (const std::size_t offset : {0u, 1u, 7u}) {
+      std::vector<gf::u8> dst_simd(size + offset), src(size + offset);
+      for (std::size_t i = 0; i < src.size(); ++i) {
+        dst_simd[i] = static_cast<gf::u8>(d(rng));
+        src[i] = static_cast<gf::u8>(d(rng));
+      }
+      auto dst_scalar = dst_simd;
+      const auto c = static_cast<gf::u8>(d(rng) | 1);
+      gf::simd::bulk_muladd(
+          std::span<gf::u8>(dst_simd).subspan(offset),
+          std::span<const gf::u8>(src).subspan(offset), c);
+      // Scalar reference.
+      const auto& t = gf::detail::tables();
+      for (std::size_t i = offset; i < size + offset; ++i) {
+        dst_scalar[i] ^= t.mul[c][src[i]];
+      }
+      ASSERT_EQ(dst_simd, dst_scalar) << "size=" << size << " off=" << offset
+                                      << " c=" << int(c);
+    }
+  }
+}
+
+TEST(Gf256Simd, MulMatchesScalar) {
+  if (!gf::simd::available()) GTEST_SKIP() << "no SSSE3 on this target";
+  std::mt19937 rng(12);
+  std::uniform_int_distribution<int> d(0, 255);
+  for (const int c : {0, 1, 2, 0x53, 255}) {
+    std::vector<gf::u8> v(333);
+    for (auto& b : v) b = static_cast<gf::u8>(d(rng));
+    auto expect = v;
+    const auto& t = gf::detail::tables();
+    for (auto& b : expect) {
+      b = c == 0 ? 0 : t.mul[c][b];
+    }
+    gf::simd::bulk_mul(v, static_cast<gf::u8>(c));
+    EXPECT_EQ(v, expect) << c;
+  }
+}
+
+TEST(Gf256Simd, DispatchedPathIsBitExact) {
+  // The public bulk_muladd (which may dispatch to SIMD) must agree with a
+  // straight scalar loop on large buffers.
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<int> d(0, 255);
+  std::vector<gf::u8> a(8192), b(8192);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<gf::u8>(d(rng));
+    b[i] = static_cast<gf::u8>(d(rng));
+  }
+  auto expect = a;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect[i] ^= gf::mul(0x9C, b[i]);
+  }
+  gf::bulk_muladd(a, b, 0x9C);
+  EXPECT_EQ(a, expect);
+}
+
+// ---- Generic fields for the ablation ----
+
+template <unsigned M>
+void check_field_axioms() {
+  gf::Field<M> f;
+  using Elem = typename gf::Field<M>::Elem;
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<unsigned> d(0, gf::Field<M>::kMax);
+  // Inverse over all (small fields) or a sample (GF(2^16)).
+  const unsigned step = M == 16 ? 257 : 1;
+  for (unsigned a = 1; a < gf::Field<M>::kOrder; a += step) {
+    const auto x = static_cast<Elem>(a);
+    ASSERT_EQ(f.mul(x, f.inv(x)), 1u) << "M=" << M << " a=" << a;
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<Elem>(d(rng));
+    const auto b = static_cast<Elem>(d(rng));
+    const auto c = static_cast<Elem>(d(rng));
+    ASSERT_EQ(f.mul(a, b), f.mul(b, a));
+    ASSERT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    ASSERT_EQ(f.mul(a, gf::Field<M>::add(b, c)),
+              gf::Field<M>::add(f.mul(a, b), f.mul(a, c)));
+  }
+}
+
+TEST(GfGeneric, Gf16Axioms) { check_field_axioms<4>(); }
+TEST(GfGeneric, Gf256Axioms) { check_field_axioms<8>(); }
+TEST(GfGeneric, Gf65536Axioms) { check_field_axioms<16>(); }
+
+TEST(GfGeneric, Gf256MatchesConcreteImplementation) {
+  gf::Field<8> f;
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 0; b < 256; b += 3) {
+      EXPECT_EQ(f.mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                gf::mul(static_cast<gf::u8>(a), static_cast<gf::u8>(b)));
+    }
+  }
+}
+
+TEST(GfGeneric, BulkMulAddMatchesScalar) {
+  gf::Field<16> f;
+  std::mt19937 rng(6);
+  std::uniform_int_distribution<unsigned> d(0, 0xFFFF);
+  std::vector<std::uint16_t> dst(200), src(200), expect(200);
+  const auto c = static_cast<std::uint16_t>(d(rng) | 1);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = static_cast<std::uint16_t>(d(rng));
+    src[i] = static_cast<std::uint16_t>(d(rng));
+    expect[i] = static_cast<std::uint16_t>(dst[i] ^ f.mul(c, src[i]));
+  }
+  f.bulk_muladd(std::span<std::uint16_t>(dst),
+                std::span<const std::uint16_t>(src), c);
+  EXPECT_EQ(dst, expect);
+}

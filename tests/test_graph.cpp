@@ -1,0 +1,215 @@
+// Tests for the topology model, delay-bounded DFS path enumeration, and
+// Edmonds–Karp max-flow (including the paper's butterfly capacity).
+#include <gtest/gtest.h>
+
+#include "app/scenarios.hpp"
+#include "graph/maxflow.hpp"
+#include "graph/paths.hpp"
+#include "graph/topology.hpp"
+
+using namespace ncfn;
+using namespace ncfn::graph;
+
+namespace {
+NodeInfo dc(const char* name, double cap_mbps = 1000) {
+  NodeInfo ni;
+  ni.name = name;
+  ni.kind = NodeKind::kDataCenter;
+  ni.bin_bps = cap_mbps * 1e6;
+  ni.bout_bps = cap_mbps * 1e6;
+  ni.vnf_capacity_bps = cap_mbps * 1e6;
+  return ni;
+}
+NodeInfo host(const char* name) {
+  NodeInfo ni;
+  ni.name = name;
+  ni.kind = NodeKind::kHost;
+  return ni;
+}
+}  // namespace
+
+TEST(Topology, FindEdgeAndDataCenters) {
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  const NodeIdx a = t.add_node(dc("a"));
+  const NodeIdx b = t.add_node(dc("b"));
+  const EdgeIdx e = t.add_edge(s, a, 0.01);
+  EXPECT_EQ(t.find_edge(s, a), e);
+  EXPECT_EQ(t.find_edge(a, s), -1);
+  EXPECT_EQ(t.data_centers(), (std::vector<NodeIdx>{a, b}));
+  EXPECT_EQ(t.out_edges(s).size(), 1u);
+}
+
+TEST(Paths, DirectAndRelayedEnumerated) {
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  const NodeIdx a = t.add_node(dc("a"));
+  const NodeIdx d = t.add_node(host("d"));
+  t.add_edge(s, d, 0.050);
+  t.add_edge(s, a, 0.020);
+  t.add_edge(a, d, 0.020);
+  const auto paths = feasible_paths(t, s, d, 0.100);
+  ASSERT_EQ(paths.size(), 2u);
+  // Sorted by delay: relayed (40 ms) before direct (50 ms).
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeIdx>{s, a, d}));
+  EXPECT_NEAR(paths[0].delay_s, 0.040, 1e-12);
+  EXPECT_EQ(paths[1].nodes, (std::vector<NodeIdx>{s, d}));
+}
+
+TEST(Paths, DelayBoundExcludesSlowPaths) {
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  const NodeIdx a = t.add_node(dc("a"));
+  const NodeIdx d = t.add_node(host("d"));
+  t.add_edge(s, a, 0.080);
+  t.add_edge(a, d, 0.080);
+  t.add_edge(s, d, 0.020);
+  EXPECT_EQ(feasible_paths(t, s, d, 0.100).size(), 1u);   // only direct
+  EXPECT_EQ(feasible_paths(t, s, d, 0.200).size(), 2u);
+  EXPECT_EQ(feasible_paths(t, s, d, 0.010).size(), 0u);   // nothing fits
+}
+
+TEST(Paths, InteriorNodesMustBeDataCenters) {
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  const NodeIdx h = t.add_node(host("other-host"));
+  const NodeIdx d = t.add_node(host("d"));
+  t.add_edge(s, h, 0.01);
+  t.add_edge(h, d, 0.01);
+  EXPECT_TRUE(feasible_paths(t, s, d, 1.0).empty());
+}
+
+TEST(Paths, NoCycles) {
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  const NodeIdx a = t.add_node(dc("a"));
+  const NodeIdx b = t.add_node(dc("b"));
+  const NodeIdx d = t.add_node(host("d"));
+  t.add_edge(s, a, 0.001);
+  t.add_edge(a, b, 0.001);
+  t.add_edge(b, a, 0.001);  // cycle bait
+  t.add_edge(b, d, 0.001);
+  const auto paths = feasible_paths(t, s, d, 10.0);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeIdx>{s, a, b, d}));
+}
+
+TEST(Paths, MaxPathsKeepsLowestDelay) {
+  // Parallel relays with increasing delay; cap at 2 keeps the fastest 2.
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  const NodeIdx d = t.add_node(host("d"));
+  for (int i = 0; i < 5; ++i) {
+    const NodeIdx r = t.add_node(dc("r"));
+    t.add_edge(s, r, 0.010 * (i + 1));
+    t.add_edge(r, d, 0.010);
+  }
+  PathSearchLimits lim;
+  lim.max_paths = 2;
+  const auto paths = feasible_paths(t, s, d, 1.0, lim);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_NEAR(paths[0].delay_s, 0.020, 1e-12);
+  EXPECT_NEAR(paths[1].delay_s, 0.030, 1e-12);
+}
+
+TEST(Paths, UsesEdgeAndNodePredicates) {
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  const NodeIdx a = t.add_node(dc("a"));
+  const NodeIdx d = t.add_node(host("d"));
+  const EdgeIdx e1 = t.add_edge(s, a, 0.01);
+  const EdgeIdx e2 = t.add_edge(a, d, 0.01);
+  const EdgeIdx e3 = t.add_edge(s, d, 0.05);
+  const auto paths = feasible_paths(t, s, d, 1.0);
+  const Path& relayed = paths[0];
+  EXPECT_TRUE(relayed.uses_edge(e1));
+  EXPECT_TRUE(relayed.uses_edge(e2));
+  EXPECT_FALSE(relayed.uses_edge(e3));
+  EXPECT_TRUE(relayed.uses_node(a));
+}
+
+TEST(MaxFlow, SingleLink) {
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  const NodeIdx d = t.add_node(host("d"));
+  t.add_edge(s, d, 0.01, 42e6);
+  EXPECT_NEAR(st_max_flow(t, s, d), 42e6, 1);
+}
+
+TEST(MaxFlow, ParallelAndSerial) {
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  const NodeIdx a = t.add_node(dc("a"));
+  const NodeIdx d = t.add_node(host("d"));
+  t.add_edge(s, a, 0.01, 10e6);
+  t.add_edge(a, d, 0.01, 6e6);   // serial bottleneck
+  t.add_edge(s, d, 0.01, 3e6);   // parallel path
+  EXPECT_NEAR(st_max_flow(t, s, d), 9e6, 1);
+}
+
+TEST(MaxFlow, NodeCapSplitting) {
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  NodeInfo relay = dc("a");
+  relay.bin_bps = 4e6;
+  relay.bout_bps = 10e6;
+  const NodeIdx a = t.add_node(relay);
+  const NodeIdx d = t.add_node(host("d"));
+  t.add_edge(s, a, 0.01, 100e6);
+  t.add_edge(a, d, 0.01, 100e6);
+  EXPECT_NEAR(st_max_flow(t, s, d, /*apply_node_caps=*/true), 4e6, 1);
+  EXPECT_NEAR(st_max_flow(t, s, d, /*apply_node_caps=*/false), 100e6, 1);
+}
+
+TEST(MaxFlow, ButterflyCapacityMatchesPaper) {
+  // The paper computes 69.9 Mbps via Ford–Fulkerson on their measured
+  // butterfly; ours is provisioned at exactly 35 Mbps per link -> 70.
+  const auto b = app::scenarios::butterfly(false);
+  const double o2 = st_max_flow(b.topo, b.source, b.recv_o2) / 1e6;
+  const double c2 = st_max_flow(b.topo, b.source, b.recv_c2) / 1e6;
+  EXPECT_NEAR(o2, 70.0, 1e-6);
+  EXPECT_NEAR(c2, 70.0, 1e-6);
+  EXPECT_NEAR(multicast_capacity(b.topo, b.source, {b.recv_o2, b.recv_c2}) / 1e6,
+              70.0, 1e-6);
+}
+
+TEST(MaxFlow, MulticastCapacityIsMinOverReceivers) {
+  Topology t;
+  const NodeIdx s = t.add_node(host("s"));
+  const NodeIdx d1 = t.add_node(host("d1"));
+  const NodeIdx d2 = t.add_node(host("d2"));
+  t.add_edge(s, d1, 0.01, 10e6);
+  t.add_edge(s, d2, 0.01, 4e6);
+  EXPECT_NEAR(multicast_capacity(t, s, {d1, d2}), 4e6, 1);
+}
+
+TEST(Scenarios, ButterflyShape) {
+  const auto b = app::scenarios::butterfly(true);
+  EXPECT_NEAR(app::scenarios::butterfly_capacity_mbps(b), 70.0, 1e-6);
+  // Direct links present and capped at 40 Mbps.
+  EXPECT_NEAR(b.topo.edge(b.direct_o2).capacity_bps, 40e6, 1);
+  // Relayed O2 path delay near 89 ms one-way (RTT ~ 167 with feedback).
+  const auto paths =
+      feasible_paths(b.topo, b.source, b.recv_o2, 0.150);
+  ASSERT_GE(paths.size(), 2u);
+}
+
+TEST(Scenarios, SixDcFullMesh) {
+  const auto net = app::scenarios::six_datacenters();
+  EXPECT_EQ(net.dcs.size(), 6u);
+  EXPECT_EQ(net.hosts.size(), 48u);  // eight hosts per region
+  for (graph::NodeIdx a : net.dcs) {
+    for (graph::NodeIdx b : net.dcs) {
+      if (a != b) {
+        EXPECT_NE(net.topo.find_edge(a, b), -1);
+      }
+    }
+  }
+  std::mt19937 rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const auto spec = app::scenarios::random_session(net, 1, rng);
+    EXPECT_GE(spec.receivers.size(), 1u);
+    EXPECT_LE(spec.receivers.size(), 4u);
+    for (graph::NodeIdx r : spec.receivers) EXPECT_NE(r, spec.source);
+  }
+}

@@ -1,0 +1,203 @@
+// Tests for the modular middlebox framework (packet functions + service
+// chaining), the Sec. VI modularization direction.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "vnf/function.hpp"
+#include "vnf/middlebox.hpp"
+
+using namespace ncfn;
+using namespace ncfn::vnf;
+
+namespace {
+std::vector<std::uint8_t> bytes(std::initializer_list<int> xs) {
+  std::vector<std::uint8_t> out;
+  for (int x : xs) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+}  // namespace
+
+TEST(PacketFunction, PassthroughCopiesAndCounts) {
+  PassthroughFunction fn;
+  const auto in = bytes({1, 2, 3});
+  const auto out = fn.process(in);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], in);
+  fn.process(in);
+  EXPECT_EQ(fn.packets_seen(), 2u);
+}
+
+TEST(PacketFunction, SamplerForwardsOneInN) {
+  SamplerFunction fn(3);
+  int forwarded = 0;
+  for (int i = 0; i < 12; ++i) {
+    forwarded += fn.process(bytes({1})).empty() ? 0 : 1;
+  }
+  EXPECT_EQ(forwarded, 4);
+}
+
+TEST(PacketFunction, ChecksumTagVerifyRoundTrip) {
+  ChecksumTagFunction tag;
+  ChecksumVerifyFunction verify;
+  const auto in = bytes({10, 20, 30, 40, 50});
+  const auto tagged = tag.process(in);
+  ASSERT_EQ(tagged.size(), 1u);
+  EXPECT_EQ(tagged[0].size(), in.size() + 4);
+  const auto back = verify.process(tagged[0]);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], in);
+  EXPECT_EQ(verify.dropped(), 0u);
+}
+
+TEST(PacketFunction, ChecksumVerifyDropsCorruptPackets) {
+  ChecksumTagFunction tag;
+  ChecksumVerifyFunction verify;
+  auto tagged = tag.process(bytes({1, 2, 3}))[0];
+  tagged[1] ^= 0xFF;  // corrupt the body
+  EXPECT_TRUE(verify.process(tagged).empty());
+  EXPECT_TRUE(verify.process(bytes({1, 2})).empty());  // too short
+  EXPECT_EQ(verify.dropped(), 2u);
+}
+
+TEST(PacketFunction, RleRoundTripOnRuns) {
+  const auto in = bytes({7, 7, 7, 7, 7, 7, 1, 2, 3, 0, 0, 0, 0});
+  const auto compressed = RleCompressFunction::compress(in);
+  EXPECT_LT(compressed.size(), in.size());
+  EXPECT_EQ(RleDecompressFunction::decompress(compressed), in);
+}
+
+TEST(PacketFunction, RleHandlesEscapeByte) {
+  const auto in = bytes({0xAA, 1, 0xAA, 0xAA, 2});
+  const auto compressed = RleCompressFunction::compress(in);
+  EXPECT_EQ(RleDecompressFunction::decompress(compressed), in);
+}
+
+TEST(PacketFunction, RleRoundTripRandomBuffers) {
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> in(rng() % 600);
+    // Mix runs and noise.
+    for (std::size_t i = 0; i < in.size();) {
+      const std::uint8_t v = static_cast<std::uint8_t>(rng());
+      const std::size_t run = 1 + rng() % 9;
+      for (std::size_t j = 0; j < run && i < in.size(); ++j) in[i++] = v;
+    }
+    const auto c = RleCompressFunction::compress(in);
+    ASSERT_EQ(RleDecompressFunction::decompress(c), in) << trial;
+  }
+}
+
+// ---- MiddleboxVnf hosting ----
+
+namespace {
+struct MbRig {
+  netsim::Network net{1};
+  netsim::NodeId src, mb, dst;
+  MbRig() {
+    src = net.add_node("src");
+    mb = net.add_node("middlebox");
+    dst = net.add_node("dst");
+    netsim::LinkConfig lc;
+    lc.capacity_bps = 1e9;
+    lc.prop_delay = 0.001;
+    net.add_link(src, mb, lc);
+    net.add_link(mb, dst, lc);
+  }
+  void send(std::vector<std::uint8_t> payload, netsim::Port port) {
+    netsim::Datagram d;
+    d.src = src;
+    d.dst = mb;
+    d.dst_port = port;
+    d.payload = std::move(payload);
+    ASSERT_TRUE(net.send(std::move(d)));
+  }
+};
+}  // namespace
+
+TEST(Middlebox, ChainTagsAndForwards) {
+  MbRig rig;
+  MiddleboxConfig cfg;
+  MiddleboxVnf mb(rig.net, rig.mb, cfg);
+  mb.add_function(std::make_unique<ChecksumTagFunction>());
+  mb.set_next_hops({ctrl::NextHop{rig.dst, 9100}});
+
+  std::vector<std::vector<std::uint8_t>> got;
+  rig.net.bind(rig.dst, 9100,
+               [&](const netsim::Datagram& d) { got.push_back(d.payload); });
+  rig.send(bytes({5, 6, 7}), cfg.port);
+  rig.net.sim().run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].size(), 3u + 4u);
+  ChecksumVerifyFunction verify;
+  EXPECT_FALSE(verify.process(got[0]).empty());
+}
+
+TEST(Middlebox, ServiceChainAcrossTwoNodes) {
+  // compress at one middlebox, decompress at the next — a WAN-optimizer
+  // pair; the payload must survive the full chain byte-exact.
+  netsim::Network net(1);
+  const auto src = net.add_node("src");
+  const auto mb1 = net.add_node("compressor");
+  const auto mb2 = net.add_node("decompressor");
+  const auto dst = net.add_node("dst");
+  netsim::LinkConfig lc;
+  lc.capacity_bps = 1e9;
+  lc.prop_delay = 0.001;
+  net.add_link(src, mb1, lc);
+  net.add_link(mb1, mb2, lc);
+  net.add_link(mb2, dst, lc);
+
+  MiddleboxConfig cfg;
+  MiddleboxVnf a(net, mb1, cfg), b(net, mb2, cfg);
+  a.add_function(std::make_unique<RleCompressFunction>());
+  a.set_next_hops({ctrl::NextHop{mb2, cfg.port}});
+  b.add_function(std::make_unique<RleDecompressFunction>());
+  b.set_next_hops({ctrl::NextHop{dst, 9200}});
+
+  std::vector<std::uint8_t> in(512, 0x42);  // very compressible
+  std::vector<std::vector<std::uint8_t>> got;
+  net.bind(dst, 9200,
+           [&](const netsim::Datagram& d) { got.push_back(d.payload); });
+  netsim::Datagram d;
+  d.src = src;
+  d.dst = mb1;
+  d.dst_port = cfg.port;
+  d.payload = in;
+  ASSERT_TRUE(net.send(std::move(d)));
+  net.sim().run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], in);
+  // The middle link carried the compressed form.
+  EXPECT_LT(net.link(mb1, mb2)->stats().bytes_delivered,
+            in.size() / 10 + netsim::kUdpIpOverhead);
+}
+
+TEST(Middlebox, SwallowedPacketsAreCounted) {
+  MbRig rig;
+  MiddleboxConfig cfg;
+  MiddleboxVnf mb(rig.net, rig.mb, cfg);
+  mb.add_function(std::make_unique<SamplerFunction>(2));  // drop every other
+  mb.set_next_hops({ctrl::NextHop{rig.dst, 9100}});
+  int received = 0;
+  rig.net.bind(rig.dst, 9100, [&](const netsim::Datagram&) { ++received; });
+  for (int i = 0; i < 10; ++i) rig.send(bytes({1, 2}), cfg.port);
+  rig.net.sim().run();
+  EXPECT_EQ(received, 5);
+  EXPECT_EQ(mb.stats().swallowed, 5u);
+  EXPECT_EQ(mb.stats().received, 10u);
+}
+
+TEST(Middlebox, SaturatedLaneDrops) {
+  MbRig rig;
+  MiddleboxConfig cfg;
+  cfg.fixed_overhead_s = 0.5;  // pathologically slow
+  cfg.proc_queue_limit = 2;
+  MiddleboxVnf mb(rig.net, rig.mb, cfg);
+  mb.add_function(std::make_unique<PassthroughFunction>());
+  mb.set_next_hops({ctrl::NextHop{rig.dst, 9100}});
+  for (int i = 0; i < 10; ++i) rig.send(bytes({1}), cfg.port);
+  rig.net.sim().run();
+  EXPECT_GT(mb.stats().proc_dropped, 0u);
+  EXPECT_EQ(mb.stats().received + mb.stats().proc_dropped, 10u);
+}

@@ -1,0 +1,93 @@
+// Tests for time-varying link schedules (capacity/delay traces).
+#include <gtest/gtest.h>
+
+#include "netsim/schedule.hpp"
+
+using namespace ncfn::netsim;
+
+namespace {
+Network make_net() {
+  Network net(1);
+  net.add_node("a");
+  net.add_node("b");
+  LinkConfig lc;
+  lc.capacity_bps = 10e6;
+  lc.prop_delay = 0.0;
+  net.add_link(0, 1, lc);
+  return net;
+}
+}  // namespace
+
+TEST(Schedule, CapacityStepsApplyAtTheirTimes) {
+  Network net = make_net();
+  Link* link = net.link(0, 1);
+  apply_capacity_schedule(net, *link, {{1.0, 5e6}, {2.0, 20e6}});
+  EXPECT_DOUBLE_EQ(link->capacity_bps(), 10e6);
+  net.sim().run_until(1.5);
+  EXPECT_DOUBLE_EQ(link->capacity_bps(), 5e6);
+  net.sim().run_until(2.5);
+  EXPECT_DOUBLE_EQ(link->capacity_bps(), 20e6);
+}
+
+TEST(Schedule, DelayStepsApply) {
+  Network net = make_net();
+  Link* link = net.link(0, 1);
+  apply_delay_schedule(net, *link, {{0.5, 0.040}});
+  net.sim().run_until(1.0);
+  EXPECT_DOUBLE_EQ(link->prop_delay(), 0.040);
+}
+
+TEST(Schedule, ScheduledCapacityShapesDelivery) {
+  Network net = make_net();
+  Link* link = net.link(0, 1);
+  // At t=1 the link becomes 10x slower.
+  apply_capacity_schedule(net, *link, {{1.0, 1e6}});
+  std::vector<double> arrivals;
+  net.bind(1, 9, [&](const Datagram&) { arrivals.push_back(net.sim().now()); });
+  // 1000-byte wire packets: 0.8 ms at 10 Mbps, 8 ms at 1 Mbps.
+  auto send = [&] {
+    Datagram d;
+    d.src = 0;
+    d.dst = 1;
+    d.dst_port = 9;
+    d.payload.assign(972, 0);
+    net.send(std::move(d));
+  };
+  send();
+  net.sim().run_until(1.5);
+  send();
+  net.sim().run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.0008, 1e-9);
+  EXPECT_NEAR(arrivals[1], 1.5 + 0.008, 1e-9);
+}
+
+TEST(Schedule, Ar1TraceRevertsToNominal) {
+  const auto trace = ar1_trace(920e6, 8e6, 0.7, 600.0, 200, 42);
+  ASSERT_EQ(trace.size(), 200u);
+  EXPECT_DOUBLE_EQ(trace.front().second, 920e6);
+  double sum = 0, mn = 1e18, mx = 0;
+  for (const auto& [t, v] : trace) {
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_NEAR(sum / 200.0, 920e6, 10e6);  // mean-reverting around nominal
+  EXPECT_GT(mn, 800e6);                   // bounded wobble, like Tab. I
+  EXPECT_LT(mx, 1040e6);
+  // Timestamps are the sampling grid.
+  EXPECT_DOUBLE_EQ(trace[3].first, 1800.0);
+}
+
+TEST(Schedule, Ar1TraceIsDeterministicPerSeed) {
+  const auto a = ar1_trace(100e6, 5e6, 0.5, 10.0, 50, 7);
+  const auto b = ar1_trace(100e6, 5e6, 0.5, 10.0, 50, 7);
+  const auto c = ar1_trace(100e6, 5e6, 0.5, 10.0, 50, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Schedule, NeverGoesNegative) {
+  const auto trace = ar1_trace(1e6, 5e6, 0.2, 1.0, 500, 3);
+  for (const auto& [t, v] : trace) EXPECT_GE(v, 0.0);
+}

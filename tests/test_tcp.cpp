@@ -1,0 +1,187 @@
+// Tests for the TCP-Reno baseline transport: completion, goodput bounds,
+// loss response, and retransmission accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netsim/loss.hpp"
+#include "netsim/network.hpp"
+#include "netsim/tcp.hpp"
+
+using namespace ncfn::netsim;
+
+namespace {
+Network make_duplex(double capacity_bps, double delay_s) {
+  Network net(1);
+  net.add_node("src");
+  net.add_node("dst");
+  LinkConfig lc;
+  lc.capacity_bps = capacity_bps;
+  lc.prop_delay = delay_s;
+  lc.queue_packets = 256;
+  net.add_duplex_link(0, 1, lc);
+  return net;
+}
+}  // namespace
+
+TEST(Tcp, LosslessTransferCompletes) {
+  Network net = make_duplex(10e6, 0.01);
+  const std::size_t bytes = 2 * 1000 * 1000;
+  TcpTransfer tcp(net, 0, 1, 5000, bytes);
+  tcp.start();
+  net.sim().run_until(120);
+  ASSERT_TRUE(tcp.finished());
+  EXPECT_EQ(tcp.stats().retransmissions, 0u);
+  EXPECT_EQ(tcp.stats().timeouts, 0u);
+  // Goodput should approach but not exceed link capacity.
+  const double goodput = tcp.stats().goodput_bps(bytes);
+  EXPECT_GT(goodput, 5e6);
+  EXPECT_LE(goodput, 10e6);
+}
+
+TEST(Tcp, GoodputBoundedByBottleneck) {
+  Network net = make_duplex(2e6, 0.02);
+  const std::size_t bytes = 500 * 1000;
+  TcpTransfer tcp(net, 0, 1, 5000, bytes);
+  tcp.start();
+  net.sim().run_until(300);
+  ASSERT_TRUE(tcp.finished());
+  EXPECT_LE(tcp.stats().goodput_bps(bytes), 2e6 * 1.02);
+}
+
+TEST(Tcp, SurvivesHeavyLoss) {
+  Network net = make_duplex(10e6, 0.01);
+  net.link(0, 1)->set_loss_model(std::make_unique<UniformLoss>(0.05));
+  const std::size_t bytes = 300 * 1000;
+  TcpTransfer tcp(net, 0, 1, 5000, bytes);
+  tcp.start();
+  net.sim().run_until(600);
+  ASSERT_TRUE(tcp.finished());
+  EXPECT_GT(tcp.stats().retransmissions, 0u);
+}
+
+TEST(Tcp, LossReducesGoodput) {
+  const std::size_t bytes = 1000 * 1000;
+  double lossless_goodput = 0, lossy_goodput = 0;
+  {
+    Network net = make_duplex(20e6, 0.02);
+    TcpTransfer tcp(net, 0, 1, 5000, bytes);
+    tcp.start();
+    net.sim().run_until(600);
+    ASSERT_TRUE(tcp.finished());
+    lossless_goodput = tcp.stats().goodput_bps(bytes);
+  }
+  {
+    Network net = make_duplex(20e6, 0.02);
+    net.link(0, 1)->set_loss_model(std::make_unique<UniformLoss>(0.02));
+    TcpTransfer tcp(net, 0, 1, 5000, bytes);
+    tcp.start();
+    net.sim().run_until(600);
+    ASSERT_TRUE(tcp.finished());
+    lossy_goodput = tcp.stats().goodput_bps(bytes);
+  }
+  EXPECT_LT(lossy_goodput, lossless_goodput);
+}
+
+TEST(Tcp, LongerRttLowersGoodputUnderLoss) {
+  // With loss, TCP throughput ~ MSS/(RTT*sqrt(p)): doubling RTT must hurt.
+  const std::size_t bytes = 600 * 1000;
+  auto run_with_delay = [&](double delay) {
+    Network net = make_duplex(50e6, delay);
+    net.link(0, 1)->set_loss_model(std::make_unique<UniformLoss>(0.01));
+    TcpTransfer tcp(net, 0, 1, 5000, bytes);
+    tcp.start();
+    net.sim().run_until(1200);
+    EXPECT_TRUE(tcp.finished());
+    return tcp.stats().goodput_bps(bytes);
+  };
+  const double fast = run_with_delay(0.005);
+  const double slow = run_with_delay(0.080);
+  EXPECT_LT(slow, fast);
+}
+
+TEST(Tcp, FastRetransmitFiresOnIsolatedLoss) {
+  Network net = make_duplex(10e6, 0.01);
+  // Small deterministic-ish loss: enough packets that some loss happens
+  // mid-stream and triggers dup-ACKs rather than timeouts only.
+  net.link(0, 1)->set_loss_model(std::make_unique<UniformLoss>(0.01));
+  const std::size_t bytes = 2 * 1000 * 1000;
+  TcpTransfer tcp(net, 0, 1, 5000, bytes);
+  tcp.start();
+  net.sim().run_until(600);
+  ASSERT_TRUE(tcp.finished());
+  EXPECT_GT(tcp.stats().fast_retransmits, 0u);
+}
+
+namespace {
+/// Loss model that drops an exact set of packet indices (deterministic
+/// multi-loss-in-one-window scenarios).
+class DropListLoss final : public LossModel {
+ public:
+  explicit DropListLoss(std::set<std::uint64_t> drops)
+      : drops_(std::move(drops)) {}
+  bool drop(std::mt19937&) override { return drops_.count(count_++) > 0; }
+
+ private:
+  std::set<std::uint64_t> drops_;
+  std::uint64_t count_ = 0;
+};
+}  // namespace
+
+TEST(Tcp, NewRenoRecoversMultipleLossesInOneWindow) {
+  // Drop three data packets from the same flight: partial ACKs must
+  // retransmit each new hole without waiting for an RTO.
+  Network net = make_duplex(10e6, 0.01);
+  net.link(0, 1)->set_loss_model(
+      std::make_unique<DropListLoss>(std::set<std::uint64_t>{30, 33, 36}));
+  const std::size_t bytes = 200 * 1000;  // ~137 segments
+  TcpTransfer tcp(net, 0, 1, 5000, bytes);
+  tcp.start();
+  net.sim().run_until(60.0);
+  ASSERT_TRUE(tcp.finished());
+  EXPECT_EQ(tcp.stats().timeouts, 0u);  // recovery handled it
+  EXPECT_GE(tcp.stats().retransmissions, 3u);
+}
+
+TEST(Tcp, RtoBackoffIsBounded) {
+  // Total blackout after a few packets: RTOs back off exponentially but
+  // never beyond max_rto.
+  Network net = make_duplex(10e6, 0.01);
+  net.link(0, 1)->set_loss_model(
+      std::make_unique<DropListLoss>([] {
+        std::set<std::uint64_t> all;
+        for (std::uint64_t i = 5; i < 100000; ++i) all.insert(i);
+        return all;
+      }()));
+  TcpConfig cfg;
+  cfg.max_rto = 4.0;
+  TcpTransfer tcp(net, 0, 1, 5000, 100 * 1000, cfg);
+  tcp.start();
+  net.sim().run_until(60.0);
+  EXPECT_FALSE(tcp.finished());
+  // ~4s max RTO over 60s after a brief ramp: at least a dozen timeouts.
+  EXPECT_GE(tcp.stats().timeouts, 10u);
+  EXPECT_LE(tcp.stats().timeouts, 40u);
+}
+
+TEST(Tcp, BytesAckedIsMonotonic) {
+  Network net = make_duplex(5e6, 0.02);
+  net.link(0, 1)->set_loss_model(std::make_unique<UniformLoss>(0.03));
+  TcpTransfer tcp(net, 0, 1, 5000, 400 * 1000);
+  tcp.start();
+  std::size_t last = 0;
+  for (int t = 1; t <= 40 && !tcp.finished(); ++t) {
+    net.sim().run_until(t * 0.25);
+    EXPECT_GE(tcp.bytes_acked(), last);
+    last = tcp.bytes_acked();
+  }
+}
+
+TEST(Tcp, ZeroLikePayloadStillOneSegment) {
+  Network net = make_duplex(10e6, 0.01);
+  TcpTransfer tcp(net, 0, 1, 5000, 1);  // 1 byte -> 1 segment
+  tcp.start();
+  net.sim().run_until(10);
+  ASSERT_TRUE(tcp.finished());
+  EXPECT_EQ(tcp.stats().segments_sent, 1u);
+}

@@ -1,0 +1,463 @@
+// Tests for the coding VNF data plane (roles, pipelined recoding, credit
+// shares, lanes, pause/resume) and the control daemon (signal handling,
+// table-update cost, tau shutdown and reuse).
+#include <gtest/gtest.h>
+
+#include "app/provider.hpp"
+#include "coding/encoder.hpp"
+#include "ctrl/signals.hpp"
+#include "netsim/network.hpp"
+#include "vnf/coding_vnf.hpp"
+#include "vnf/daemon.hpp"
+
+using namespace ncfn;
+using namespace ncfn::vnf;
+using ncfn::ctrl::NextHop;
+using ncfn::ctrl::VnfRole;
+
+namespace {
+
+struct Rig {
+  netsim::Network net{1};
+  netsim::NodeId src, relay, dst;
+  coding::CodingParams params;
+
+  Rig() {
+    src = net.add_node("src");
+    relay = net.add_node("relay");
+    dst = net.add_node("dst");
+    netsim::LinkConfig lc;
+    lc.capacity_bps = 1e9;
+    lc.prop_delay = 0.001;
+    net.add_link(src, relay, lc);
+    net.add_link(relay, dst, lc);
+    params.block_size = 64;
+    params.generation_blocks = 4;
+  }
+
+  VnfConfig vnf_config() {
+    VnfConfig cfg;
+    cfg.params = params;
+    cfg.seed = 3;
+    return cfg;
+  }
+
+  void send_packet(const coding::CodedPacket& pkt, netsim::Port port) {
+    netsim::Datagram d;
+    d.src = src;
+    d.dst = relay;
+    d.dst_port = port;
+    d.payload = pkt.serialize();
+    ASSERT_TRUE(net.send(std::move(d)));
+  }
+};
+
+}  // namespace
+
+TEST(CodingVnf, RecodeRelayEmitsOnePacketPerArrival) {
+  Rig rig;
+  CodingVnf relay(rig.net, rig.relay, rig.vnf_config());
+  relay.configure_session(1, VnfRole::kRecode, 9000);
+  relay.set_next_hops(1, {NextHopRate{NextHop{rig.dst, 9000}, 1.0}});
+
+  std::vector<coding::CodedPacket> received;
+  rig.net.bind(rig.dst, 9000, [&](const netsim::Datagram& d) {
+    auto pkt = coding::CodedPacket::parse(d.payload, rig.params);
+    ASSERT_TRUE(pkt.has_value());
+    received.push_back(*pkt);
+  });
+
+  std::mt19937 rng(5);
+  const auto data = app::SyntheticProvider(1, rig.params.generation_bytes(),
+                                           rig.params)
+                        .generation(0);
+  coding::Encoder enc(1, data, rng);
+  for (int i = 0; i < 6; ++i) rig.send_packet(enc.encode_random(), 9000);
+  rig.net.sim().run();
+
+  EXPECT_EQ(received.size(), 6u);
+  EXPECT_EQ(relay.stats(1).received, 6u);
+  EXPECT_EQ(relay.stats(1).emitted, 6u);
+  // Downstream decoder completes from the recoded stream.
+  coding::Decoder dec(1, 0, rig.params);
+  for (const auto& p : received) dec.add(p);
+  EXPECT_TRUE(dec.complete());
+}
+
+TEST(CodingVnf, FirstPacketOfGenerationPassesThroughUnchanged) {
+  Rig rig;
+  VnfConfig cfg = rig.vnf_config();
+  cfg.recode_hold_s = 0;  // strict per-arrival emission
+  CodingVnf relay(rig.net, rig.relay, cfg);
+  relay.configure_session(1, VnfRole::kRecode, 9000);
+  relay.set_next_hops(1, {NextHopRate{NextHop{rig.dst, 9000}, 1.0}});
+
+  std::vector<coding::CodedPacket> received;
+  rig.net.bind(rig.dst, 9000, [&](const netsim::Datagram& d) {
+    received.push_back(*coding::CodedPacket::parse(d.payload, rig.params));
+  });
+
+  std::mt19937 rng(5);
+  const auto gen = app::SyntheticProvider(2, rig.params.generation_bytes(),
+                                          rig.params)
+                       .generation(0);
+  coding::Encoder enc(1, gen, rng);
+  const auto first = enc.encode_random();
+  rig.send_packet(first, 9000);
+  rig.net.sim().run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].coeffs, first.coeffs);
+  EXPECT_EQ(received[0].payload, first.payload);
+}
+
+TEST(CodingVnf, CreditSharesThinTheStream) {
+  Rig rig;
+  CodingVnf relay(rig.net, rig.relay, rig.vnf_config());
+  relay.configure_session(1, VnfRole::kForward, 9000);
+  // Half-rate next hop: 10 arrivals -> 5 emissions.
+  relay.set_next_hops(1, {NextHopRate{NextHop{rig.dst, 9000}, 0.5}});
+  int received = 0;
+  rig.net.bind(rig.dst, 9000, [&](const netsim::Datagram&) { ++received; });
+
+  std::mt19937 rng(6);
+  const auto gen = app::SyntheticProvider(3, rig.params.generation_bytes(),
+                                          rig.params)
+                       .generation(0);
+  coding::Encoder enc(1, gen, rng);
+  for (int i = 0; i < 10; ++i) rig.send_packet(enc.encode_random(), 9000);
+  rig.net.sim().run();
+  EXPECT_EQ(received, 5);
+}
+
+TEST(CodingVnf, DecodeRoleDeliversBlocksToSink) {
+  Rig rig;
+  CodingVnf dec_vnf(rig.net, rig.relay, rig.vnf_config());
+  dec_vnf.configure_session(1, VnfRole::kDecode, 9000);
+  std::vector<std::vector<std::uint8_t>> got;
+  dec_vnf.set_decode_sink([&](coding::SessionId, coding::GenerationId,
+                              std::vector<std::vector<std::uint8_t>> blocks) {
+    got = std::move(blocks);
+  });
+
+  std::mt19937 rng(7);
+  app::SyntheticProvider provider(4, rig.params.generation_bytes(),
+                                  rig.params);
+  const auto gen = provider.generation(0);
+  coding::Encoder enc(1, gen, rng);
+  for (int i = 0; i < 8; ++i) rig.send_packet(enc.encode_random(), 9000);
+  rig.net.sim().run();
+  ASSERT_EQ(got.size(), rig.params.generation_blocks);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], std::vector<std::uint8_t>(gen.block(i).begin(),
+                                                gen.block(i).end()));
+  }
+  EXPECT_EQ(dec_vnf.stats(1).decoded_generations, 1u);
+}
+
+TEST(CodingVnf, ProcessingLaneSaturationDropsPackets) {
+  Rig rig;
+  VnfConfig cfg = rig.vnf_config();
+  cfg.proc_rate_Bps = 1e4;  // pathologically slow VNF
+  cfg.fixed_overhead_s = 0.01;
+  cfg.proc_queue_limit = 4;
+  CodingVnf relay(rig.net, rig.relay, cfg);
+  relay.configure_session(1, VnfRole::kRecode, 9000);
+  relay.set_next_hops(1, {NextHopRate{NextHop{rig.dst, 9000}, 1.0}});
+
+  std::mt19937 rng(8);
+  const auto gen = app::SyntheticProvider(5, rig.params.generation_bytes(),
+                                          rig.params)
+                       .generation(0);
+  coding::Encoder enc(1, gen, rng);
+  for (int i = 0; i < 50; ++i) rig.send_packet(enc.encode_random(), 9000);
+  rig.net.sim().run();
+  EXPECT_GT(relay.stats(1).proc_dropped, 0u);
+  EXPECT_LT(relay.stats(1).received, 50u);
+}
+
+TEST(CodingVnf, MoreLanesRaiseThroughput) {
+  // Two generations hash to different lanes; with 2 lanes they are
+  // processed concurrently, halving the finish time.
+  auto run_with_lanes = [](std::size_t lanes) {
+    Rig rig;
+    VnfConfig cfg = rig.vnf_config();
+    cfg.proc_rate_Bps = 1e5;
+    cfg.fixed_overhead_s = 0.0;
+    CodingVnf relay(rig.net, rig.relay, cfg);
+    relay.set_lanes(lanes);
+    relay.configure_session(1, VnfRole::kRecode, 9000);
+    relay.set_next_hops(1, {NextHopRate{NextHop{rig.dst, 9000}, 1.0}});
+    std::mt19937 rng(9);
+    app::SyntheticProvider provider(6, 4 * rig.params.generation_bytes(),
+                                    rig.params);
+    for (coding::GenerationId g = 0; g < 4; ++g) {
+      const auto gen = provider.generation(g);
+      coding::Encoder enc(1, gen, rng);
+      for (int i = 0; i < 8; ++i) {
+        netsim::Datagram d;
+        d.src = rig.src;
+        d.dst = rig.relay;
+        d.dst_port = 9000;
+        d.payload = enc.encode_random().serialize();
+        rig.net.send(std::move(d));
+      }
+    }
+    rig.net.sim().run();
+    return rig.net.sim().now();
+  };
+  const double t1 = run_with_lanes(1);
+  const double t4 = run_with_lanes(4);
+  EXPECT_LT(t4, t1 * 0.75);
+}
+
+TEST(CodingVnf, PauseBuffersAndResumeFlushes) {
+  Rig rig;
+  CodingVnf relay(rig.net, rig.relay, rig.vnf_config());
+  relay.configure_session(1, VnfRole::kRecode, 9000);
+  relay.set_next_hops(1, {NextHopRate{NextHop{rig.dst, 9000}, 1.0}});
+  int received = 0;
+  rig.net.bind(rig.dst, 9000, [&](const netsim::Datagram&) { ++received; });
+
+  relay.pause();
+  std::mt19937 rng(10);
+  const auto gen = app::SyntheticProvider(7, rig.params.generation_bytes(),
+                                          rig.params)
+                       .generation(0);
+  coding::Encoder enc(1, gen, rng);
+  for (int i = 0; i < 4; ++i) rig.send_packet(enc.encode_random(), 9000);
+  rig.net.sim().run();
+  EXPECT_EQ(received, 0);  // paused: nothing emitted
+  relay.resume();
+  rig.net.sim().run();
+  EXPECT_EQ(received, 4);  // backlog flushed
+}
+
+TEST(CodingVnf, DropSessionStopsProcessing) {
+  Rig rig;
+  CodingVnf relay(rig.net, rig.relay, rig.vnf_config());
+  relay.configure_session(1, VnfRole::kRecode, 9000);
+  relay.set_next_hops(1, {NextHopRate{NextHop{rig.dst, 9000}, 1.0}});
+  relay.drop_session(1);
+  int received = 0;
+  rig.net.bind(rig.dst, 9000, [&](const netsim::Datagram&) { ++received; });
+  std::mt19937 rng(11);
+  const auto gen = app::SyntheticProvider(8, rig.params.generation_bytes(),
+                                          rig.params)
+                       .generation(0);
+  coding::Encoder enc(1, gen, rng);
+  rig.send_packet(enc.encode_random(), 9000);
+  rig.net.sim().run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(CodingVnf, TreeRoutingForwardsInnovativeAlongTheRightTree) {
+  // Two trees; generations dispatched by schedule. The relay must copy
+  // each innovative packet only to the generation's tree hops and drop
+  // duplicates entirely.
+  Rig rig;
+  const auto dst2 = rig.net.add_node("dst2");
+  netsim::LinkConfig lc;
+  lc.capacity_bps = 1e9;
+  lc.prop_delay = 0.001;
+  rig.net.add_link(rig.relay, dst2, lc);
+
+  CodingVnf relay(rig.net, rig.relay, rig.vnf_config());
+  relay.configure_session(1, VnfRole::kForward, 9000);
+  TreeRouting routing;
+  routing.schedule = {0, 1};  // even generations -> tree 0, odd -> tree 1
+  routing.hops_per_tree = {{NextHop{rig.dst, 9000}},
+                           {NextHop{dst2, 9000}}};
+  relay.set_tree_routing(1, std::move(routing));
+
+  int to_dst = 0, to_dst2 = 0;
+  rig.net.bind(rig.dst, 9000, [&](const netsim::Datagram&) { ++to_dst; });
+  rig.net.bind(dst2, 9000, [&](const netsim::Datagram&) { ++to_dst2; });
+
+  std::mt19937 rng(21);
+  app::SyntheticProvider provider(31, 2 * rig.params.generation_bytes(),
+                                  rig.params);
+  for (coding::GenerationId g = 0; g < 2; ++g) {
+    const auto gen = provider.generation(g);
+    coding::Encoder enc(1, gen, rng);
+    for (std::size_t i = 0; i < rig.params.generation_blocks; ++i) {
+      const auto pkt = enc.encode_systematic(i);
+      rig.send_packet(pkt, 9000);
+      rig.send_packet(pkt, 9000);  // duplicate: must be dropped
+    }
+  }
+  rig.net.sim().run();
+  EXPECT_EQ(to_dst, 4);   // generation 0's four blocks, once each
+  EXPECT_EQ(to_dst2, 4);  // generation 1's
+}
+
+TEST(CodingVnf, ConfigureSessionRebindsPort) {
+  Rig rig;
+  CodingVnf relay(rig.net, rig.relay, rig.vnf_config());
+  relay.configure_session(1, VnfRole::kRecode, 9000);
+  relay.configure_session(1, VnfRole::kRecode, 9001);  // move ports
+  relay.set_next_hops(1, {NextHopRate{NextHop{rig.dst, 9000}, 1.0}});
+  int received = 0;
+  rig.net.bind(rig.dst, 9000, [&](const netsim::Datagram&) { ++received; });
+  std::mt19937 rng(5);
+  const auto gen = app::SyntheticProvider(1, rig.params.generation_bytes(),
+                                          rig.params)
+                       .generation(0);
+  coding::Encoder enc(1, gen, rng);
+  rig.send_packet(enc.encode_random(), 9000);  // old port: dead
+  rig.send_packet(enc.encode_random(), 9001);  // new port: live
+  rig.net.sim().run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(CodingVnf, MalformedDatagramIsIgnored) {
+  Rig rig;
+  CodingVnf relay(rig.net, rig.relay, rig.vnf_config());
+  relay.configure_session(1, VnfRole::kRecode, 9000);
+  netsim::Datagram d;
+  d.src = rig.src;
+  d.dst = rig.relay;
+  d.dst_port = 9000;
+  d.payload = {1, 2, 3};  // not a coded packet
+  ASSERT_TRUE(rig.net.send(std::move(d)));
+  rig.net.sim().run();
+  EXPECT_EQ(relay.stats(1).received, 0u);
+}
+
+// ---- Daemon ----
+
+TEST(Daemon, SettingsConfigureSessions) {
+  Rig rig;
+  DaemonConfig dcfg;
+  dcfg.vnf = rig.vnf_config();
+  VnfDaemon daemon(rig.net, rig.relay, dcfg);
+  ctrl::NcSettings settings;
+  settings.generation_blocks =
+      static_cast<std::uint32_t>(rig.params.generation_blocks);
+  settings.block_size = static_cast<std::uint32_t>(rig.params.block_size);
+  settings.sessions = {ctrl::SessionSetting{1, VnfRole::kRecode, 9000}};
+  daemon.handle_signal(settings);
+  daemon.vnf().set_next_hops(1, {NextHopRate{NextHop{rig.dst, 9000}, 1.0}});
+
+  int received = 0;
+  rig.net.bind(rig.dst, 9000, [&](const netsim::Datagram&) { ++received; });
+  std::mt19937 rng(12);
+  const auto gen = app::SyntheticProvider(9, rig.params.generation_bytes(),
+                                          rig.params)
+                       .generation(0);
+  coding::Encoder enc(1, gen, rng);
+  rig.send_packet(enc.encode_random(), 9000);
+  rig.net.sim().run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Daemon, SignalsArriveOverTheNetwork) {
+  Rig rig;
+  DaemonConfig dcfg;
+  dcfg.vnf = rig.vnf_config();
+  VnfDaemon daemon(rig.net, rig.relay, dcfg);
+  // Send NC_START over the control port as a datagram.
+  netsim::Datagram d;
+  d.src = rig.src;
+  d.dst = rig.relay;
+  d.dst_port = dcfg.control_port;
+  const std::string text = ctrl::serialize(ctrl::Signal{ctrl::NcStart{1}});
+  d.payload.assign(text.begin(), text.end());
+  ASSERT_TRUE(rig.net.send(std::move(d)));
+  rig.net.sim().run();
+  EXPECT_EQ(daemon.stats().signals_received, 1u);
+  EXPECT_EQ(daemon.stats().signals_malformed, 0u);
+}
+
+TEST(Daemon, MalformedControlMessageCounted) {
+  Rig rig;
+  DaemonConfig dcfg;
+  dcfg.vnf = rig.vnf_config();
+  VnfDaemon daemon(rig.net, rig.relay, dcfg);
+  netsim::Datagram d;
+  d.src = rig.src;
+  d.dst = rig.relay;
+  d.dst_port = dcfg.control_port;
+  const std::string text = "GARBAGE\nEND\n";
+  d.payload.assign(text.begin(), text.end());
+  rig.net.send(std::move(d));
+  rig.net.sim().run();
+  EXPECT_EQ(daemon.stats().signals_malformed, 1u);
+}
+
+TEST(Daemon, TableUpdateCostScalesWithChangedEntries) {
+  Rig rig;
+  DaemonConfig dcfg;
+  dcfg.vnf = rig.vnf_config();
+  VnfDaemon daemon(rig.net, rig.relay, dcfg);
+
+  ctrl::ForwardingTable t1;
+  for (coding::SessionId s = 1; s <= 10; ++s) {
+    t1.set(s, {NextHop{rig.dst, static_cast<std::uint16_t>(9000 + s)}});
+  }
+  daemon.handle_signal(ctrl::NcForwardTab{t1});
+  const double full = daemon.stats().last_table_update_cost_s;
+  EXPECT_NEAR(full, 10 * dcfg.table_entry_apply_s, 1e-9);
+  rig.net.sim().run();
+
+  // Change 2 of 10 entries: cost is 20% of the full update.
+  ctrl::ForwardingTable t2 = t1;
+  t2.set(1, {NextHop{rig.dst, 1}});
+  t2.set(2, {NextHop{rig.dst, 2}});
+  daemon.handle_signal(ctrl::NcForwardTab{t2});
+  EXPECT_NEAR(daemon.stats().last_table_update_cost_s,
+              2 * dcfg.table_entry_apply_s, 1e-9);
+}
+
+TEST(Daemon, VnfEndShutsDownAfterTauUnlessReused) {
+  Rig rig;
+  DaemonConfig dcfg;
+  dcfg.vnf = rig.vnf_config();
+  {
+    VnfDaemon daemon(rig.net, rig.relay, dcfg);
+    daemon.handle_signal(ctrl::NcVnfEnd{0, 10.0});
+    rig.net.sim().run_until(5.0);
+    EXPECT_TRUE(daemon.running());  // still in the grace window
+    rig.net.sim().run_until(11.0);
+    EXPECT_FALSE(daemon.running());
+    EXPECT_EQ(daemon.stats().shutdowns, 1u);
+  }
+  // Reuse case: NC_VNF_START within tau cancels the pending shutdown.
+  {
+    netsim::Network net2(2);
+    const auto n = net2.add_node("relay");
+    DaemonConfig cfg2;
+    cfg2.vnf = dcfg.vnf;
+    VnfDaemon daemon(net2, n, cfg2);
+    daemon.handle_signal(ctrl::NcVnfEnd{0, 10.0});
+    net2.sim().run_until(5.0);
+    daemon.handle_signal(ctrl::NcVnfStart{0, 1});
+    net2.sim().run_until(20.0);
+    EXPECT_TRUE(daemon.running());
+    EXPECT_EQ(daemon.stats().shutdowns, 0u);
+  }
+}
+
+TEST(Daemon, ProbesReportBandwidthAndRtt) {
+  Rig rig;
+  netsim::LinkConfig lc;
+  lc.capacity_bps = 50e6;
+  lc.prop_delay = 0.020;
+  rig.net.add_link(rig.relay, rig.src, lc);  // reverse path for RTT
+  DaemonConfig dcfg;
+  dcfg.vnf = rig.vnf_config();
+  VnfDaemon daemon(rig.net, rig.relay, dcfg);
+  int reports = 0;
+  daemon.start_probes({rig.dst}, 1.0,
+                      [&](netsim::NodeId peer, std::optional<double> bw,
+                          std::optional<netsim::Time> /*rtt*/) {
+                        EXPECT_EQ(peer, rig.dst);
+                        ASSERT_TRUE(bw.has_value());
+                        EXPECT_NEAR(*bw, 1e9, 0.05e9);
+                        ++reports;
+                      });
+  rig.net.sim().run_until(5.5);
+  EXPECT_EQ(reports, 5);
+  daemon.stop_probes();
+  rig.net.sim().run_until(20.0);
+  EXPECT_EQ(reports, 5);
+}
