@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_field_size.cpp" "bench/CMakeFiles/bench_ablation_field_size.dir/bench_ablation_field_size.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_field_size.dir/bench_ablation_field_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/ncfn_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/vnf/CMakeFiles/ncfn_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/ncfn_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ncfn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ncfn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ncfn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/ncfn_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ncfn_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lanes.dir/bench_ablation_lanes.cpp.o"
+  "CMakeFiles/bench_ablation_lanes.dir/bench_ablation_lanes.cpp.o.d"
+  "bench_ablation_lanes"
+  "bench_ablation_lanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

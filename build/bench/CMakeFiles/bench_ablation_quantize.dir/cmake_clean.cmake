@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quantize.dir/bench_ablation_quantize.cpp.o"
+  "CMakeFiles/bench_ablation_quantize.dir/bench_ablation_quantize.cpp.o.d"
+  "bench_ablation_quantize"
+  "bench_ablation_quantize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quantize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_butterfly_throughput.dir/bench_fig07_butterfly_throughput.cpp.o"
+  "CMakeFiles/bench_fig07_butterfly_throughput.dir/bench_fig07_butterfly_throughput.cpp.o.d"
+  "bench_fig07_butterfly_throughput"
+  "bench_fig07_butterfly_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_butterfly_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

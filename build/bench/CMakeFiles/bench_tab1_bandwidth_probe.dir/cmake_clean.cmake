@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_bandwidth_probe.dir/bench_tab1_bandwidth_probe.cpp.o"
+  "CMakeFiles/bench_tab1_bandwidth_probe.dir/bench_tab1_bandwidth_probe.cpp.o.d"
+  "bench_tab1_bandwidth_probe"
+  "bench_tab1_bandwidth_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_bandwidth_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_delay.dir/bench_tab2_delay.cpp.o"
+  "CMakeFiles/bench_tab2_delay.dir/bench_tab2_delay.cpp.o.d"
+  "bench_tab2_delay"
+  "bench_tab2_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_fwdtab_update.dir/bench_tab3_fwdtab_update.cpp.o"
+  "CMakeFiles/bench_tab3_fwdtab_update.dir/bench_tab3_fwdtab_update.cpp.o.d"
+  "bench_tab3_fwdtab_update"
+  "bench_tab3_fwdtab_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_fwdtab_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

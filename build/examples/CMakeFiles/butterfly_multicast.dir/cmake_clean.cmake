@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_multicast.dir/butterfly_multicast.cpp.o"
+  "CMakeFiles/butterfly_multicast.dir/butterfly_multicast.cpp.o.d"
+  "butterfly_multicast"
+  "butterfly_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

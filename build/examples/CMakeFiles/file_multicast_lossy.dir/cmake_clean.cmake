@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_multicast_lossy.dir/file_multicast_lossy.cpp.o"
+  "CMakeFiles/file_multicast_lossy.dir/file_multicast_lossy.cpp.o.d"
+  "file_multicast_lossy"
+  "file_multicast_lossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_multicast_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_stream_scaling.dir/live_stream_scaling.cpp.o"
+  "CMakeFiles/live_stream_scaling.dir/live_stream_scaling.cpp.o.d"
+  "live_stream_scaling"
+  "live_stream_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_stream_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlebox_chain.dir/middlebox_chain.cpp.o"
+  "CMakeFiles/middlebox_chain.dir/middlebox_chain.cpp.o.d"
+  "middlebox_chain"
+  "middlebox_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlebox_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("gf")
+subdirs("coding")
+subdirs("netsim")
+subdirs("lp")
+subdirs("graph")
+subdirs("ctrl")
+subdirs("vnf")
+subdirs("app")

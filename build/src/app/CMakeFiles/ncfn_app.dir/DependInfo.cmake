@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/baseline.cpp" "src/app/CMakeFiles/ncfn_app.dir/baseline.cpp.o" "gcc" "src/app/CMakeFiles/ncfn_app.dir/baseline.cpp.o.d"
+  "/root/repo/src/app/config.cpp" "src/app/CMakeFiles/ncfn_app.dir/config.cpp.o" "gcc" "src/app/CMakeFiles/ncfn_app.dir/config.cpp.o.d"
+  "/root/repo/src/app/orchestrator.cpp" "src/app/CMakeFiles/ncfn_app.dir/orchestrator.cpp.o" "gcc" "src/app/CMakeFiles/ncfn_app.dir/orchestrator.cpp.o.d"
+  "/root/repo/src/app/provider.cpp" "src/app/CMakeFiles/ncfn_app.dir/provider.cpp.o" "gcc" "src/app/CMakeFiles/ncfn_app.dir/provider.cpp.o.d"
+  "/root/repo/src/app/receiver.cpp" "src/app/CMakeFiles/ncfn_app.dir/receiver.cpp.o" "gcc" "src/app/CMakeFiles/ncfn_app.dir/receiver.cpp.o.d"
+  "/root/repo/src/app/runtime.cpp" "src/app/CMakeFiles/ncfn_app.dir/runtime.cpp.o" "gcc" "src/app/CMakeFiles/ncfn_app.dir/runtime.cpp.o.d"
+  "/root/repo/src/app/scenarios.cpp" "src/app/CMakeFiles/ncfn_app.dir/scenarios.cpp.o" "gcc" "src/app/CMakeFiles/ncfn_app.dir/scenarios.cpp.o.d"
+  "/root/repo/src/app/source.cpp" "src/app/CMakeFiles/ncfn_app.dir/source.cpp.o" "gcc" "src/app/CMakeFiles/ncfn_app.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vnf/CMakeFiles/ncfn_vnf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctrl/CMakeFiles/ncfn_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ncfn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/ncfn_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ncfn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ncfn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ncfn_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

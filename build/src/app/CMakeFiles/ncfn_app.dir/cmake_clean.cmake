@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfn_app.dir/baseline.cpp.o"
+  "CMakeFiles/ncfn_app.dir/baseline.cpp.o.d"
+  "CMakeFiles/ncfn_app.dir/config.cpp.o"
+  "CMakeFiles/ncfn_app.dir/config.cpp.o.d"
+  "CMakeFiles/ncfn_app.dir/orchestrator.cpp.o"
+  "CMakeFiles/ncfn_app.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/ncfn_app.dir/provider.cpp.o"
+  "CMakeFiles/ncfn_app.dir/provider.cpp.o.d"
+  "CMakeFiles/ncfn_app.dir/receiver.cpp.o"
+  "CMakeFiles/ncfn_app.dir/receiver.cpp.o.d"
+  "CMakeFiles/ncfn_app.dir/runtime.cpp.o"
+  "CMakeFiles/ncfn_app.dir/runtime.cpp.o.d"
+  "CMakeFiles/ncfn_app.dir/scenarios.cpp.o"
+  "CMakeFiles/ncfn_app.dir/scenarios.cpp.o.d"
+  "CMakeFiles/ncfn_app.dir/source.cpp.o"
+  "CMakeFiles/ncfn_app.dir/source.cpp.o.d"
+  "libncfn_app.a"
+  "libncfn_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfn_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfn_coding.dir/buffer.cpp.o"
+  "CMakeFiles/ncfn_coding.dir/buffer.cpp.o.d"
+  "CMakeFiles/ncfn_coding.dir/decoder.cpp.o"
+  "CMakeFiles/ncfn_coding.dir/decoder.cpp.o.d"
+  "CMakeFiles/ncfn_coding.dir/encoder.cpp.o"
+  "CMakeFiles/ncfn_coding.dir/encoder.cpp.o.d"
+  "CMakeFiles/ncfn_coding.dir/generation.cpp.o"
+  "CMakeFiles/ncfn_coding.dir/generation.cpp.o.d"
+  "CMakeFiles/ncfn_coding.dir/packet.cpp.o"
+  "CMakeFiles/ncfn_coding.dir/packet.cpp.o.d"
+  "libncfn_coding.a"
+  "libncfn_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfn_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libncfn_coding.a"
+)

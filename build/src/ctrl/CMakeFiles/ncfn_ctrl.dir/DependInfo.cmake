@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/controller.cpp" "src/ctrl/CMakeFiles/ncfn_ctrl.dir/controller.cpp.o" "gcc" "src/ctrl/CMakeFiles/ncfn_ctrl.dir/controller.cpp.o.d"
+  "/root/repo/src/ctrl/fwdtable.cpp" "src/ctrl/CMakeFiles/ncfn_ctrl.dir/fwdtable.cpp.o" "gcc" "src/ctrl/CMakeFiles/ncfn_ctrl.dir/fwdtable.cpp.o.d"
+  "/root/repo/src/ctrl/problem.cpp" "src/ctrl/CMakeFiles/ncfn_ctrl.dir/problem.cpp.o" "gcc" "src/ctrl/CMakeFiles/ncfn_ctrl.dir/problem.cpp.o.d"
+  "/root/repo/src/ctrl/quantize.cpp" "src/ctrl/CMakeFiles/ncfn_ctrl.dir/quantize.cpp.o" "gcc" "src/ctrl/CMakeFiles/ncfn_ctrl.dir/quantize.cpp.o.d"
+  "/root/repo/src/ctrl/signals.cpp" "src/ctrl/CMakeFiles/ncfn_ctrl.dir/signals.cpp.o" "gcc" "src/ctrl/CMakeFiles/ncfn_ctrl.dir/signals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ncfn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ncfn_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/ncfn_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ncfn_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

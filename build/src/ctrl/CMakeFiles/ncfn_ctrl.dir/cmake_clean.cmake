@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfn_ctrl.dir/controller.cpp.o"
+  "CMakeFiles/ncfn_ctrl.dir/controller.cpp.o.d"
+  "CMakeFiles/ncfn_ctrl.dir/fwdtable.cpp.o"
+  "CMakeFiles/ncfn_ctrl.dir/fwdtable.cpp.o.d"
+  "CMakeFiles/ncfn_ctrl.dir/problem.cpp.o"
+  "CMakeFiles/ncfn_ctrl.dir/problem.cpp.o.d"
+  "CMakeFiles/ncfn_ctrl.dir/quantize.cpp.o"
+  "CMakeFiles/ncfn_ctrl.dir/quantize.cpp.o.d"
+  "CMakeFiles/ncfn_ctrl.dir/signals.cpp.o"
+  "CMakeFiles/ncfn_ctrl.dir/signals.cpp.o.d"
+  "libncfn_ctrl.a"
+  "libncfn_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfn_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfn_gf.dir/gf256.cpp.o"
+  "CMakeFiles/ncfn_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/ncfn_gf.dir/gf256_simd.cpp.o"
+  "CMakeFiles/ncfn_gf.dir/gf256_simd.cpp.o.d"
+  "libncfn_gf.a"
+  "libncfn_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfn_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

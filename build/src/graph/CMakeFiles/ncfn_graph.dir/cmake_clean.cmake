@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfn_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/ncfn_graph.dir/maxflow.cpp.o.d"
+  "CMakeFiles/ncfn_graph.dir/paths.cpp.o"
+  "CMakeFiles/ncfn_graph.dir/paths.cpp.o.d"
+  "CMakeFiles/ncfn_graph.dir/topology.cpp.o"
+  "CMakeFiles/ncfn_graph.dir/topology.cpp.o.d"
+  "libncfn_graph.a"
+  "libncfn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfn_lp.dir/simplex.cpp.o"
+  "CMakeFiles/ncfn_lp.dir/simplex.cpp.o.d"
+  "libncfn_lp.a"
+  "libncfn_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfn_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/ncfn_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/ncfn_netsim.dir/network.cpp.o.d"
+  "/root/repo/src/netsim/schedule.cpp" "src/netsim/CMakeFiles/ncfn_netsim.dir/schedule.cpp.o" "gcc" "src/netsim/CMakeFiles/ncfn_netsim.dir/schedule.cpp.o.d"
+  "/root/repo/src/netsim/sim.cpp" "src/netsim/CMakeFiles/ncfn_netsim.dir/sim.cpp.o" "gcc" "src/netsim/CMakeFiles/ncfn_netsim.dir/sim.cpp.o.d"
+  "/root/repo/src/netsim/tcp.cpp" "src/netsim/CMakeFiles/ncfn_netsim.dir/tcp.cpp.o" "gcc" "src/netsim/CMakeFiles/ncfn_netsim.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

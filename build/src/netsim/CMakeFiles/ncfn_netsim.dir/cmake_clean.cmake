@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfn_netsim.dir/network.cpp.o"
+  "CMakeFiles/ncfn_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/ncfn_netsim.dir/schedule.cpp.o"
+  "CMakeFiles/ncfn_netsim.dir/schedule.cpp.o.d"
+  "CMakeFiles/ncfn_netsim.dir/sim.cpp.o"
+  "CMakeFiles/ncfn_netsim.dir/sim.cpp.o.d"
+  "CMakeFiles/ncfn_netsim.dir/tcp.cpp.o"
+  "CMakeFiles/ncfn_netsim.dir/tcp.cpp.o.d"
+  "libncfn_netsim.a"
+  "libncfn_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfn_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

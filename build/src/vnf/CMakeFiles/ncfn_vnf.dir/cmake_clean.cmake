@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfn_vnf.dir/coding_vnf.cpp.o"
+  "CMakeFiles/ncfn_vnf.dir/coding_vnf.cpp.o.d"
+  "CMakeFiles/ncfn_vnf.dir/daemon.cpp.o"
+  "CMakeFiles/ncfn_vnf.dir/daemon.cpp.o.d"
+  "CMakeFiles/ncfn_vnf.dir/function.cpp.o"
+  "CMakeFiles/ncfn_vnf.dir/function.cpp.o.d"
+  "CMakeFiles/ncfn_vnf.dir/middlebox.cpp.o"
+  "CMakeFiles/ncfn_vnf.dir/middlebox.cpp.o.d"
+  "libncfn_vnf.a"
+  "libncfn_vnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfn_vnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfn-plan.dir/ncfn-plan.cpp.o"
+  "CMakeFiles/ncfn-plan.dir/ncfn-plan.cpp.o.d"
+  "ncfn-plan"
+  "ncfn-plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfn-plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncfn-run.dir/ncfn-run.cpp.o"
+  "CMakeFiles/ncfn-run.dir/ncfn-run.cpp.o.d"
+  "ncfn-run"
+  "ncfn-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncfn-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
