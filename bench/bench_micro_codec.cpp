@@ -2,14 +2,25 @@
 // the encoder/recoder/decoder at several generation sizes. These numbers
 // calibrate the VNF processing model (VnfConfig::proc_rate_Bps) that
 // drives the Fig. 4 generation-size collapse.
+//
+// Kernel benchmarks run once per supported ISA tier (scalar / SSSE3 /
+// AVX2 / GFNI, forced through gf::simd::force_tier), so the dispatch win and the
+// fused-x4 win are visible in one report. Codec benchmarks run on the
+// dispatched (best) tier with a live PacketPool — the steady state they
+// measure allocates nothing per packet. BM_EncodeGenerationLegacy keeps
+// the pre-pool, per-row path inline as the self-documenting baseline.
+// tools/bench_micro.sh wraps this binary and writes BENCH_micro_codec.json.
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
 
 #include "coding/decoder.hpp"
 #include "coding/encoder.hpp"
 #include "coding/generation.hpp"
+#include "coding/pool.hpp"
 #include "gf/gf256.hpp"
+#include "gf/gf256_simd.hpp"
 
 namespace {
 
@@ -23,7 +34,31 @@ std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint32_t seed) {
   return out;
 }
 
+/// Forces the tier named by the benchmark arg for the benchmark's
+/// lifetime; skips when the host lacks it.
+class TierGuard {
+ public:
+  TierGuard(benchmark::State& state, gf::simd::Tier tier) {
+    if (!gf::simd::force_tier(tier)) {
+      state.SkipWithError(
+          (std::string(gf::simd::tier_name(tier)) + " unsupported").c_str());
+      ok_ = false;
+    }
+  }
+  ~TierGuard() { gf::simd::reset_tier(); }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+constexpr gf::simd::Tier kTiers[] = {
+    gf::simd::Tier::kScalar, gf::simd::Tier::kSsse3, gf::simd::Tier::kAvx2,
+    gf::simd::Tier::kGfni};
+
 void BM_GfBulkXor(benchmark::State& state) {
+  TierGuard tier(state, kTiers[state.range(1)]);
+  if (!tier.ok()) return;
   auto a = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
   const auto b = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
   for (auto _ : state) {
@@ -31,10 +66,14 @@ void BM_GfBulkXor(benchmark::State& state) {
     benchmark::DoNotOptimize(a.data());
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(gf::simd::tier_name(kTiers[state.range(1)]));
 }
-BENCHMARK(BM_GfBulkXor)->Arg(1460)->Arg(65536);
+BENCHMARK(BM_GfBulkXor)
+    ->ArgsProduct({{1460, 65536}, {0, 1, 2, 3}});
 
 void BM_GfBulkMulAdd(benchmark::State& state) {
+  TierGuard tier(state, kTiers[state.range(1)]);
+  if (!tier.ok()) return;
   auto a = random_bytes(static_cast<std::size_t>(state.range(0)), 3);
   const auto b = random_bytes(static_cast<std::size_t>(state.range(0)), 4);
   for (auto _ : state) {
@@ -42,8 +81,31 @@ void BM_GfBulkMulAdd(benchmark::State& state) {
     benchmark::DoNotOptimize(a.data());
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(gf::simd::tier_name(kTiers[state.range(1)]));
 }
-BENCHMARK(BM_GfBulkMulAdd)->Arg(1460)->Arg(65536);
+BENCHMARK(BM_GfBulkMulAdd)
+    ->ArgsProduct({{1460, 65536}, {0, 1, 2, 3}});
+
+void BM_GfBulkMulAddX4(benchmark::State& state) {
+  // Four source rows fused into one pass over dst; bytes processed counts
+  // all four rows, so GB/s compares directly against 4x BM_GfBulkMulAdd.
+  TierGuard tier(state, kTiers[state.range(1)]);
+  if (!tier.ok()) return;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto dst = random_bytes(n, 5);
+  const auto r0 = random_bytes(n, 6), r1 = random_bytes(n, 7),
+             r2 = random_bytes(n, 8), r3 = random_bytes(n, 9);
+  const std::uint8_t* src[4] = {r0.data(), r1.data(), r2.data(), r3.data()};
+  const std::uint8_t c4[4] = {0x8E, 0x35, 0xD1, 0x02};
+  for (auto _ : state) {
+    gf::bulk_muladd_x4(dst, src, c4);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 4);
+  state.SetLabel(gf::simd::tier_name(kTiers[state.range(1)]));
+}
+BENCHMARK(BM_GfBulkMulAddX4)
+    ->ArgsProduct({{1460, 65536}, {0, 1, 2, 3}});
 
 void BM_EncodeGeneration(benchmark::State& state) {
   const auto g = static_cast<std::size_t>(state.range(0));
@@ -52,16 +114,56 @@ void BM_EncodeGeneration(benchmark::State& state) {
   const auto data = random_bytes(p.generation_bytes(), 5);
   coding::Generation gen(0, data, p);
   std::mt19937 rng(6);
-  coding::Encoder enc(1, gen, rng);
+  auto pool = coding::PacketPool::make();
+  coding::Encoder enc(1, gen, rng, pool);
   for (auto _ : state) {
     auto pkt = enc.encode_random();
-    benchmark::DoNotOptimize(pkt.payload.data());
+    benchmark::DoNotOptimize(pkt.payload().data());
   }
   // Payload bytes produced per encoded packet.
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(p.block_size));
+  state.counters["pool_heap_allocs"] =
+      static_cast<double>(pool.stats().heap_allocs);
 }
-BENCHMARK(BM_EncodeGeneration)->Arg(2)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_EncodeGeneration)
+    ->Arg(2)->Arg(4)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_EncodeGenerationLegacy(benchmark::State& state) {
+  // The pre-optimization encode path, kept inline as the baseline the
+  // fused/pooled BM_EncodeGeneration is compared against: SSSE3 kernels
+  // (the previous best tier), two fresh vector allocations per packet,
+  // one distribution sample per coefficient byte, and one single-row
+  // muladd pass per source block.
+  TierGuard tier(state, gf::simd::Tier::kSsse3);
+  if (!tier.ok()) return;
+  const auto g = static_cast<std::size_t>(state.range(0));
+  coding::CodingParams p;
+  p.generation_blocks = g;
+  const auto data = random_bytes(p.generation_bytes(), 5);
+  coding::Generation gen(0, data, p);
+  std::mt19937 rng(6);
+  std::uniform_int_distribution<int> d(0, 255);
+  for (auto _ : state) {
+    std::vector<std::uint8_t> coeffs(g);
+    std::vector<std::uint8_t> payload(p.block_size, 0);
+    bool any = false;
+    while (!any) {
+      for (auto& c : coeffs) {
+        c = static_cast<std::uint8_t>(d(rng));
+        any = any || c != 0;
+      }
+    }
+    for (std::size_t i = 0; i < g; ++i) {
+      gf::bulk_muladd(payload, gen.block(i), coeffs[i]);
+    }
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.block_size));
+}
+BENCHMARK(BM_EncodeGenerationLegacy)
+    ->Arg(2)->Arg(4)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_DecodeGeneration(benchmark::State& state) {
   const auto g = static_cast<std::size_t>(state.range(0));
@@ -70,12 +172,13 @@ void BM_DecodeGeneration(benchmark::State& state) {
   const auto data = random_bytes(p.generation_bytes(), 7);
   coding::Generation gen(0, data, p);
   std::mt19937 rng(8);
-  coding::Encoder enc(1, gen, rng);
+  auto pool = coding::PacketPool::make();
+  coding::Encoder enc(1, gen, rng, pool);
   // Pre-encode enough packets outside the timed loop.
   std::vector<coding::CodedPacket> pkts;
   for (std::size_t i = 0; i < g + 8; ++i) pkts.push_back(enc.encode_random());
   for (auto _ : state) {
-    coding::Decoder dec(1, 0, p);
+    coding::Decoder dec(1, 0, p, pool);
     std::size_t i = 0;
     while (!dec.complete() && i < pkts.size()) dec.add(pkts[i++]);
     auto blocks = dec.recover();
@@ -93,12 +196,13 @@ void BM_Recode(benchmark::State& state) {
   const auto data = random_bytes(p.generation_bytes(), 9);
   coding::Generation gen(0, data, p);
   std::mt19937 rng(10);
-  coding::Encoder enc(1, gen, rng);
-  coding::Decoder relay(1, 0, p);
+  auto pool = coding::PacketPool::make();
+  coding::Encoder enc(1, gen, rng, pool);
+  coding::Decoder relay(1, 0, p, pool);
   for (std::size_t i = 0; i < g; ++i) relay.add(enc.encode_random());
   for (auto _ : state) {
     auto pkt = relay.recode(rng);
-    benchmark::DoNotOptimize(pkt.payload.data());
+    benchmark::DoNotOptimize(pkt.payload().data());
   }
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(p.block_size));
@@ -107,15 +211,16 @@ BENCHMARK(BM_Recode)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_HeaderSerializeParse(benchmark::State& state) {
   coding::CodingParams p;
-  coding::CodedPacket pkt;
-  pkt.session = 1;
-  pkt.generation = 42;
-  pkt.coeffs = {1, 2, 3, 4};
-  pkt.payload = random_bytes(p.block_size, 11);
+  auto pool = coding::PacketPool::make();
+  const std::vector<std::uint8_t> coeffs{1, 2, 3, 4};
+  const auto pkt =
+      coding::CodedPacket::make(1, 42, coeffs, random_bytes(p.block_size, 11),
+                                pool);
+  std::vector<std::uint8_t> wire;
   for (auto _ : state) {
-    const auto wire = pkt.serialize();
-    auto back = coding::CodedPacket::parse(wire, p);
-    benchmark::DoNotOptimize(back->payload.data());
+    pkt.serialize_into(wire);
+    auto back = coding::CodedPacket::parse(wire, p, pool);
+    benchmark::DoNotOptimize(back->payload().data());
   }
 }
 BENCHMARK(BM_HeaderSerializeParse);

@@ -107,7 +107,7 @@ void McSource::ensure_encoder(coding::GenerationId gen) {
   auto generation = std::make_unique<coding::Generation>(
       provider_.generation(gen));
   auto encoder = std::make_unique<coding::Encoder>(cfg_.session, *generation,
-                                                   rng_);
+                                                   rng_, pool_);
   encoders_[gen] = {std::move(generation), std::move(encoder)};
   // Keep the cache small; evict the oldest generations — but never the one
   // just materialized (a repair for an old generation would otherwise be
@@ -126,7 +126,8 @@ void McSource::send_packet(Pacer& p, const coding::CodedPacket& pkt,
     d.src = node_;
     d.dst = hop.node;
     d.dst_port = hop.port;
-    d.payload = pkt.serialize();
+    d.payload = net_.take_buffer();
+    pkt.serialize_into(d.payload);
     if (net_.send(std::move(d))) {
       ++stats_.packets_sent;
       if (repair) ++stats_.repair_packets_sent;

@@ -29,6 +29,7 @@
 #include "app/messages.hpp"
 #include "app/provider.hpp"
 #include "coding/encoder.hpp"
+#include "coding/pool.hpp"
 #include "ctrl/fwdtable.hpp"
 #include "netsim/network.hpp"
 
@@ -110,6 +111,9 @@ class McSource {
   const GenerationProvider& provider_;
   SourceConfig cfg_;
   std::mt19937 rng_;
+  // Coded packets from every cached encoder recycle through one pool, so
+  // the paced steady state allocates nothing per packet.
+  coding::PacketPool pool_ = coding::PacketPool::make();
 
   bool tree_mode_ = false;
   std::vector<MulticastTree> trees_;

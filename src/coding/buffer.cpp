@@ -17,7 +17,7 @@ Decoder& GenerationBuffer::state(SessionId session, GenerationId generation) {
   }
   order.push_back(generation);
   auto [it, inserted] = states_.emplace(
-      key, std::make_unique<Decoder>(session, generation, params_));
+      key, std::make_unique<Decoder>(session, generation, params_, pool_));
   return *it->second;
 }
 

@@ -14,13 +14,15 @@
 #include <unordered_map>
 
 #include "coding/decoder.hpp"
+#include "coding/pool.hpp"
 #include "coding/types.hpp"
 
 namespace ncfn::coding {
 
 class GenerationBuffer {
  public:
-  explicit GenerationBuffer(const CodingParams& params) : params_(params) {}
+  explicit GenerationBuffer(const CodingParams& params)
+      : params_(params), pool_(PacketPool::make()) {}
 
   /// Decoder state for (session, generation), creating it (and possibly
   /// evicting the session's oldest generation) if absent.
@@ -39,6 +41,10 @@ class GenerationBuffer {
   [[nodiscard]] std::size_t evictions() const { return evictions_; }
   [[nodiscard]] const CodingParams& params() const { return params_; }
 
+  /// Shared packet pool: decoder rows and recoded/parsed packets for this
+  /// buffer's sessions all recycle through here.
+  [[nodiscard]] const PacketPool& pool() const { return pool_; }
+
  private:
   struct Key {
     SessionId session;
@@ -53,6 +59,7 @@ class GenerationBuffer {
   };
 
   CodingParams params_;
+  PacketPool pool_;
   std::unordered_map<Key, std::unique_ptr<Decoder>, KeyHash> states_;
   std::unordered_map<SessionId, std::deque<GenerationId>> fifo_;  // per-session arrival order
   std::size_t evictions_ = 0;

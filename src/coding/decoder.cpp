@@ -2,42 +2,46 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
+#include "coding/rng_fill.hpp"
 #include "gf/gf256.hpp"
 
 namespace ncfn::coding {
 
 Decoder::Decoder(SessionId session, GenerationId generation,
-                 const CodingParams& params)
+                 const CodingParams& params, PacketPool pool)
     : session_(session),
       generation_(generation),
       g_(params.generation_blocks),
       block_size_(params.block_size),
+      pool_(std::move(pool)),
       pivots_(g_) {}
 
 bool Decoder::add(const CodedPacket& pkt) {
   assert(pkt.session == session_ && pkt.generation == generation_);
-  assert(pkt.coeffs.size() == g_ && pkt.payload.size() == block_size_);
+  assert(pkt.coeff_count() == g_ && pkt.payload_size() == block_size_);
   ++seen_;
   if (complete()) return false;
 
-  Row row{pkt.coeffs, pkt.payload};
+  // Copy the arrival into a pooled working row; all elimination below is
+  // fused over the contiguous [coeffs | payload] region.
+  CodedPacket row;
+  row.session = session_;
+  row.generation = generation_;
+  row.acquire(g_, block_size_, pool_);
+  std::memcpy(row.row().data(), pkt.row().data(), pkt.row().size());
+
   // Forward-eliminate against existing pivots.
   for (std::size_t c = 0; c < g_; ++c) {
-    const std::uint8_t lead = row.coeffs[c];
+    const std::uint8_t lead = row.coeffs()[c];
     if (lead == 0) continue;
     if (pivots_[c].has_value()) {
-      const Row& p = *pivots_[c];
-      gf::bulk_muladd(row.coeffs, p.coeffs, lead);
-      gf::bulk_muladd(row.payload, p.payload, lead);
+      gf::bulk_muladd(row.row(), pivots_[c]->row(), lead);
       continue;
     }
     // New pivot at column c: normalize leading coefficient to 1.
-    if (lead != 1) {
-      const std::uint8_t s = gf::inv(lead);
-      gf::bulk_mul(row.coeffs, s);
-      gf::bulk_mul(row.payload, s);
-    }
+    if (lead != 1) gf::bulk_mul(row.row(), gf::inv(lead));
     pivots_[c] = std::move(row);
     ++rank_;
     return true;
@@ -47,24 +51,42 @@ bool Decoder::add(const CodedPacket& pkt) {
 
 CodedPacket Decoder::recode(std::mt19937& rng) const {
   assert(rank_ >= 1);
-  std::uniform_int_distribution<int> dist(0, gf::kFieldSize - 1);
   CodedPacket out;
   out.session = session_;
   out.generation = generation_;
-  out.coeffs.assign(g_, 0);
-  out.payload.assign(block_size_, 0);
-  bool any = false;
-  while (!any) {
-    std::fill(out.coeffs.begin(), out.coeffs.end(), 0);
-    std::fill(out.payload.begin(), out.payload.end(), 0);
-    for (const auto& p : pivots_) {
-      if (!p.has_value()) continue;
-      const auto r = static_cast<std::uint8_t>(dist(rng));
-      if (r == 0) continue;
-      any = true;
-      gf::bulk_muladd(out.coeffs, p->coeffs, r);
-      gf::bulk_muladd(out.payload, p->payload, r);
+  out.acquire(g_, block_size_, pool_);
+  // Draw one random weight per stored pivot; accumulate the weighted rows
+  // four at a time with the fused kernel. Redraw if every weight for a
+  // present pivot came out zero.
+  std::uint8_t weights[256];
+  assert(g_ <= sizeof(weights));
+  for (;;) {
+    detail::fill_random_bytes(std::span<std::uint8_t>(weights, g_), rng);
+    bool any = false;
+    for (std::size_t c = 0; c < g_; ++c) {
+      if (pivots_[c].has_value() && weights[c] != 0) {
+        any = true;
+        break;
+      }
     }
+    if (any) break;
+  }
+  const std::uint8_t* src[4];
+  std::uint8_t c4[4];
+  int k = 0;
+  for (std::size_t c = 0; c < g_; ++c) {
+    if (!pivots_[c].has_value() || weights[c] == 0) continue;
+    src[k] = pivots_[c]->row().data();
+    c4[k] = weights[c];
+    if (++k == 4) {
+      gf::bulk_muladd_x4(out.row(), src, c4);
+      k = 0;
+    }
+  }
+  for (int j = 0; j < k; ++j) {
+    gf::bulk_muladd(out.row(),
+                    std::span<const std::uint8_t>(src[j], out.row().size()),
+                    c4[j]);
   }
   return out;
 }
@@ -72,20 +94,22 @@ CodedPacket Decoder::recode(std::mt19937& rng) const {
 std::vector<std::vector<std::uint8_t>> Decoder::recover() const {
   assert(complete());
   // Back-substitution: walk pivots from the last column to the first,
-  // eliminating above-diagonal coefficients.
-  std::vector<Row> rows(g_);
+  // eliminating above-diagonal coefficients. Working rows are pooled
+  // copies; each elimination is one fused op over [coeffs | payload].
+  std::vector<CodedPacket> rows(g_);
   for (std::size_t c = 0; c < g_; ++c) rows[c] = *pivots_[c];
   for (std::size_t c = g_; c-- > 0;) {
     for (std::size_t r = 0; r < c; ++r) {
-      const std::uint8_t f = rows[r].coeffs[c];
+      const std::uint8_t f = rows[r].coeffs()[c];
       if (f == 0) continue;
-      gf::bulk_muladd(rows[r].coeffs, rows[c].coeffs, f);
-      gf::bulk_muladd(rows[r].payload, rows[c].payload, f);
+      gf::bulk_muladd(rows[r].row(), rows[c].row(), f);
     }
   }
   std::vector<std::vector<std::uint8_t>> blocks;
   blocks.reserve(g_);
-  for (auto& row : rows) blocks.push_back(std::move(row.payload));
+  for (auto& row : rows) {
+    blocks.emplace_back(row.payload().begin(), row.payload().end());
+  }
   return blocks;
 }
 

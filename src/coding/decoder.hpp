@@ -6,6 +6,12 @@
 // intermediate VNF "generates an encoded packet immediately after it
 // receives a packet from the same session and generation" (pipelined
 // recoding, Sec. III.B.2) — both operate on the row space maintained here.
+//
+// Each stored row is one contiguous pooled [coeffs | payload] buffer
+// (a CodedPacket), so every elimination step is a single fused GF bulk op
+// across coefficients and payload, and recoding accumulates pivot rows
+// four at a time through the fused multi-row kernel. With a live pool the
+// steady state (add-eliminate-recode) performs no heap allocation.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "coding/packet.hpp"
+#include "coding/pool.hpp"
 #include "coding/types.hpp"
 
 namespace ncfn::coding {
@@ -21,7 +28,7 @@ namespace ncfn::coding {
 class Decoder {
  public:
   Decoder(SessionId session, GenerationId generation,
-          const CodingParams& params);
+          const CodingParams& params, PacketPool pool = {});
 
   /// Fold one coded packet into the decoding matrix.
   /// Returns true iff the packet was innovative (increased the rank).
@@ -50,18 +57,15 @@ class Decoder {
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> recover() const;
 
  private:
-  struct Row {
-    std::vector<std::uint8_t> coeffs;
-    std::vector<std::uint8_t> payload;
-  };
-
   SessionId session_;
   GenerationId generation_;
   std::size_t g_;
   std::size_t block_size_;
   std::size_t rank_ = 0;
   std::size_t seen_ = 0;
-  std::vector<std::optional<Row>> pivots_;  // pivots_[c]: row with leading 1 at column c
+  PacketPool pool_;
+  // pivots_[c]: contiguous [coeffs | payload] row with leading 1 at column c
+  std::vector<std::optional<CodedPacket>> pivots_;
 };
 
 }  // namespace ncfn::coding

@@ -3,27 +3,36 @@
 #include <algorithm>
 #include <cassert>
 
+#include "coding/rng_fill.hpp"
 #include "gf/gf256.hpp"
 
 namespace ncfn::coding {
 
 CodedPacket Encoder::encode_random() {
   const std::size_t g = generation_->block_count();
-  std::uniform_int_distribution<int> dist(0, gf::kFieldSize - 1);
-  std::vector<std::uint8_t> coeffs(g);
+  CodedPacket pkt;
+  pkt.session = session_;
+  pkt.generation = generation_->id();
+  pkt.acquire(g, generation_->block_size(), pool_);
+  const auto cs = pkt.coeffs();
   do {
-    for (auto& c : coeffs) c = static_cast<std::uint8_t>(dist(*rng_));
-  } while (std::all_of(coeffs.begin(), coeffs.end(),
+    detail::fill_random_bytes(cs, *rng_);
+  } while (std::all_of(cs.begin(), cs.end(),
                        [](std::uint8_t c) { return c == 0; }));
-  return encode_with(coeffs);
+  encode_payload(pkt);
+  return pkt;
 }
 
 CodedPacket Encoder::encode_systematic(std::size_t i) {
   const std::size_t g = generation_->block_count();
   assert(i < g);
-  std::vector<std::uint8_t> coeffs(g, 0);
-  coeffs[i] = 1;
-  return encode_with(coeffs);
+  CodedPacket pkt;
+  pkt.session = session_;
+  pkt.generation = generation_->id();
+  pkt.acquire(g, generation_->block_size(), pool_);
+  pkt.coeffs()[i] = 1;
+  std::ranges::copy(generation_->block(i), pkt.payload().begin());
+  return pkt;
 }
 
 CodedPacket Encoder::encode_with(
@@ -33,12 +42,25 @@ CodedPacket Encoder::encode_with(
   CodedPacket pkt;
   pkt.session = session_;
   pkt.generation = generation_->id();
-  pkt.coeffs.assign(coeffs.begin(), coeffs.end());
-  pkt.payload.assign(generation_->block_size(), 0);
-  for (std::size_t i = 0; i < g; ++i) {
-    gf::bulk_muladd(pkt.payload, generation_->block(i), coeffs[i]);
-  }
+  pkt.acquire(g, generation_->block_size(), pool_);
+  std::ranges::copy(coeffs, pkt.coeffs().begin());
+  encode_payload(pkt);
   return pkt;
+}
+
+void Encoder::encode_payload(CodedPacket& pkt) const {
+  const auto dst = pkt.payload();
+  const auto cs = pkt.coeffs();
+  const std::size_t g = cs.size();
+  std::size_t i = 0;
+  for (; i + 4 <= g; i += 4) {
+    const std::uint8_t* src[4] = {
+        generation_->block(i).data(), generation_->block(i + 1).data(),
+        generation_->block(i + 2).data(), generation_->block(i + 3).data()};
+    const std::uint8_t c4[4] = {cs[i], cs[i + 1], cs[i + 2], cs[i + 3]};
+    gf::bulk_muladd_x4(dst, src, c4);
+  }
+  for (; i < g; ++i) gf::bulk_muladd(dst, generation_->block(i), cs[i]);
 }
 
 }  // namespace ncfn::coding

@@ -6,20 +6,29 @@
 // supports systematic operation (first emit each original block with a
 // unit coefficient vector, then random combinations), an ablation the
 // bench suite compares against fully-random encoding.
+//
+// Hot-path shape: packets come from the (optional) PacketPool, so the
+// steady state allocates nothing, and the payload accumulation drives the
+// fused four-row muladd kernel — one pass over the output block per four
+// source blocks instead of one per block.
 #pragma once
 
 #include <random>
 
 #include "coding/generation.hpp"
 #include "coding/packet.hpp"
+#include "coding/pool.hpp"
 
 namespace ncfn::coding {
 
 class Encoder {
  public:
-  Encoder(SessionId session, const Generation& generation,
-          std::mt19937& rng)
-      : session_(session), generation_(&generation), rng_(&rng) {}
+  Encoder(SessionId session, const Generation& generation, std::mt19937& rng,
+          PacketPool pool = {})
+      : session_(session),
+        generation_(&generation),
+        rng_(&rng),
+        pool_(std::move(pool)) {}
 
   /// Emit one random coded packet. The coefficient vector is redrawn if it
   /// comes out all-zero (probability 2^-8g, but correctness demands it).
@@ -33,9 +42,14 @@ class Encoder {
       std::span<const std::uint8_t> coeffs) const;
 
  private:
+  /// Accumulate sum_i coeffs[i] * block(i) into pkt's (zeroed) payload,
+  /// four source rows per fused kernel pass.
+  void encode_payload(CodedPacket& pkt) const;
+
   SessionId session_;
   const Generation* generation_;
   std::mt19937* rng_;
+  PacketPool pool_;
 };
 
 }  // namespace ncfn::coding

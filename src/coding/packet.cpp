@@ -1,13 +1,17 @@
 #include "coding/packet.hpp"
 
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
 namespace ncfn::coding {
 
 namespace {
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
 }
 std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
   return (static_cast<std::uint32_t>(in[at]) << 24) |
@@ -17,33 +21,57 @@ std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
 }
 }  // namespace
 
+void CodedPacket::acquire(std::size_t g, std::size_t payload_bytes,
+                          const PacketPool& pool) {
+  buf_ = pool.acquire(g + payload_bytes);
+  g_ = static_cast<std::uint32_t>(g);
+}
+
+CodedPacket CodedPacket::make(SessionId session, GenerationId generation,
+                              std::span<const std::uint8_t> coeffs,
+                              std::span<const std::uint8_t> payload,
+                              const PacketPool& pool) {
+  CodedPacket pkt;
+  pkt.session = session;
+  pkt.generation = generation;
+  pkt.acquire(coeffs.size(), payload.size(), pool);
+  std::ranges::copy(coeffs, pkt.coeffs().begin());
+  std::ranges::copy(payload, pkt.payload().begin());
+  return pkt;
+}
+
 std::vector<std::uint8_t> CodedPacket::serialize() const {
   std::vector<std::uint8_t> out;
-  out.reserve(wire_size());
-  put_u32(out, session);
-  put_u32(out, generation);
-  out.insert(out.end(), coeffs.begin(), coeffs.end());
-  out.insert(out.end(), payload.begin(), payload.end());
+  serialize_into(out);
   return out;
 }
 
+void CodedPacket::serialize_into(std::vector<std::uint8_t>& out) const {
+  out.resize(wire_size());
+  put_u32(out.data(), session);
+  put_u32(out.data() + 4, generation);
+  // Coeffs + payload are contiguous: one copy covers both.
+  if (!buf_.empty()) std::memcpy(out.data() + 8, buf_.data(), buf_.size());
+}
+
 std::optional<CodedPacket> CodedPacket::parse(
-    std::span<const std::uint8_t> wire, const CodingParams& params) {
+    std::span<const std::uint8_t> wire, const CodingParams& params,
+    const PacketPool& pool) {
   if (wire.size() != params.packet_bytes()) return std::nullopt;
   CodedPacket pkt;
   pkt.session = get_u32(wire, 0);
   pkt.generation = get_u32(wire, 4);
-  const std::size_t g = params.generation_blocks;
-  pkt.coeffs.assign(wire.begin() + 8, wire.begin() + 8 + g);
-  pkt.payload.assign(wire.begin() + 8 + g, wire.end());
+  pkt.acquire(params.generation_blocks, params.block_size, pool);
+  std::memcpy(pkt.buf_.data(), wire.data() + 8, wire.size() - 8);
   return pkt;
 }
 
 std::optional<std::size_t> CodedPacket::systematic_index() const {
   std::optional<std::size_t> idx;
-  for (std::size_t i = 0; i < coeffs.size(); ++i) {
-    if (coeffs[i] == 0) continue;
-    if (coeffs[i] != 1 || idx.has_value()) return std::nullopt;
+  const auto cs = coeffs();
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (cs[i] == 0) continue;
+    if (cs[i] != 1 || idx.has_value()) return std::nullopt;
     idx = i;
   }
   return idx;

@@ -1,0 +1,34 @@
+// Random coefficient fill for the encode/recode hot path.
+//
+// A uniform_int_distribution sample per coefficient byte burns one whole
+// mt19937 output word (and a rejection loop) per byte. GF(2^8) elements
+// are exactly bytes, so slicing whole 32-bit engine words four ways is
+// both faster and identically uniform.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+namespace ncfn::coding::detail {
+
+inline void fill_random_bytes(std::span<std::uint8_t> out,
+                              std::mt19937& rng) {
+  std::size_t i = 0;
+  for (; i + 4 <= out.size(); i += 4) {
+    const std::uint32_t w = rng();
+    out[i] = static_cast<std::uint8_t>(w);
+    out[i + 1] = static_cast<std::uint8_t>(w >> 8);
+    out[i + 2] = static_cast<std::uint8_t>(w >> 16);
+    out[i + 3] = static_cast<std::uint8_t>(w >> 24);
+  }
+  if (i < out.size()) {
+    std::uint32_t w = rng();
+    for (; i < out.size(); ++i) {
+      out[i] = static_cast<std::uint8_t>(w);
+      w >>= 8;
+    }
+  }
+}
+
+}  // namespace ncfn::coding::detail

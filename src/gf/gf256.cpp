@@ -6,15 +6,6 @@
 
 namespace ncfn::gf {
 
-namespace {
-/// One-time capability probe for the PSHUFB kernels.
-bool use_simd() noexcept {
-  static const bool ok = simd::available();
-  return ok;
-}
-/// Below this length the SIMD setup cost isn't worth it.
-constexpr std::size_t kSimdThreshold = 64;
-}  // namespace
 namespace detail {
 
 namespace {
@@ -67,40 +58,39 @@ u8 pow(u8 a, unsigned e) noexcept {
   return t.exp[l];
 }
 
+// The bulk kernels route through the runtime-dispatched tier table
+// (scalar / SSSE3 / AVX2 — see gf256_simd.hpp); every tier handles
+// arbitrary lengths and alignments internally.
+
 void bulk_xor(std::span<u8> dst, std::span<const u8> src) noexcept {
   assert(dst.size() == src.size());
-  const std::size_t n = dst.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+  if (dst.empty()) return;
+  simd::kernels().bxor(dst.data(), src.data(), dst.size());
 }
 
 void bulk_mul(std::span<u8> dst, u8 c) noexcept {
-  if (c == 1) return;
+  if (c == 1 || dst.empty()) return;
   if (c == 0) {
     for (auto& b : dst) b = 0;
     return;
   }
-  if (dst.size() >= kSimdThreshold && use_simd()) {
-    simd::bulk_mul(dst, c);
-    return;
-  }
-  const u8* row = detail::tables().mul[c];
-  for (auto& b : dst) b = row[b];
+  simd::kernels().mul(dst.data(), dst.size(), c);
 }
 
 void bulk_muladd(std::span<u8> dst, std::span<const u8> src, u8 c) noexcept {
   assert(dst.size() == src.size());
-  if (c == 0) return;
+  if (c == 0 || dst.empty()) return;
   if (c == 1) {
-    bulk_xor(dst, src);
+    simd::kernels().bxor(dst.data(), src.data(), dst.size());
     return;
   }
-  if (dst.size() >= kSimdThreshold && use_simd()) {
-    simd::bulk_muladd(dst, src, c);
-    return;
-  }
-  const u8* row = detail::tables().mul[c];
-  const std::size_t n = dst.size();
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+  simd::kernels().muladd(dst.data(), src.data(), dst.size(), c);
+}
+
+void bulk_muladd_x4(std::span<u8> dst, const u8* const src[4],
+                    const u8 c[4]) noexcept {
+  if (dst.empty()) return;
+  simd::kernels().muladd_x4(dst.data(), src, c, dst.size());
 }
 
 u8 dot(std::span<const u8> a, std::span<const u8> b) noexcept {

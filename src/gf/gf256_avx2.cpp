@@ -1,0 +1,196 @@
+// AVX2 tier: VPSHUFB nibble-table kernels, 32 bytes per shuffle. The
+// 16-byte nibble tables are broadcast to both 128-bit lanes once per
+// coefficient; VPSHUFB shuffles within each lane, which is exactly the
+// semantics the nibble lookup needs. Compiled with -mavx2; the runtime
+// CPU probe in avx2_table() keeps the dispatcher honest on older
+// hardware. Sub-32-byte tails take one SSE step then the scalar row walk.
+#include "gf/gf256_kernels.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define NCFN_HAVE_AVX2 1
+#else
+#define NCFN_HAVE_AVX2 0
+#endif
+
+namespace ncfn::gf::simd::detail {
+
+#if NCFN_HAVE_AVX2
+
+namespace {
+
+bool cpu_has_avx2() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return true;  // built with AVX2: assume the target can run it
+#endif
+}
+
+/// Load a 16-byte nibble table and broadcast it to both ymm lanes.
+inline __m256i load_tab(const std::uint8_t* tab16) {
+  return _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(tab16)));
+}
+
+void muladd_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                 std::uint8_t c) {
+  const NibbleTables& nt = nibble_tables();
+  const __m256i lo_tab = load_tab(nt.lo[c]);
+  const __m256i hi_tab = load_tab(nt.hi[c]);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  // Two independent 32-byte streams per iteration hide the
+  // shuffle->xor->store latency chain on long buffers.
+  for (; i + 64 <= n; i += 64) {
+    const __m256i s0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    const __m256i lo0 = _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s0, mask));
+    const __m256i lo1 = _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s1, mask));
+    const __m256i hi0 = _mm256_shuffle_epi8(
+        hi_tab, _mm256_and_si256(_mm256_srli_epi64(s0, 4), mask));
+    const __m256i hi1 = _mm256_shuffle_epi8(
+        hi_tab, _mm256_and_si256(_mm256_srli_epi64(s1, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d0, _mm256_xor_si256(lo0, hi0)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(d1, _mm256_xor_si256(lo1, hi1)));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i lo = _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s, mask));
+    const __m256i hi = _mm256_shuffle_epi8(
+        hi_tab, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(lo, hi)));
+  }
+  if (i + 16 <= n) {
+    const __m128i lo128 = _mm256_castsi256_si128(lo_tab);
+    const __m128i hi128 = _mm256_castsi256_si128(hi_tab);
+    const __m128i m128 = _mm_set1_epi8(0x0F);
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i lo = _mm_shuffle_epi8(lo128, _mm_and_si128(s, m128));
+    const __m128i hi =
+        _mm_shuffle_epi8(hi128, _mm_and_si128(_mm_srli_epi64(s, 4), m128));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(lo, hi)));
+    i += 16;
+  }
+  if (i < n) scalar_table()->muladd(dst + i, src + i, n - i, c);
+}
+
+void mul_avx2(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
+  const NibbleTables& nt = nibble_tables();
+  const __m256i lo_tab = load_tab(nt.lo[c]);
+  const __m256i hi_tab = load_tab(nt.hi[c]);
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i lo = _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(d, mask));
+    const __m256i hi = _mm256_shuffle_epi8(
+        hi_tab, _mm256_and_si256(_mm256_srli_epi64(d, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(lo, hi));
+  }
+  if (i < n) scalar_table()->mul(dst + i, n - i, c);
+}
+
+void xor_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, s));
+  }
+  if (i < n) scalar_table()->bxor(dst + i, src + i, n - i);
+}
+
+void muladd_x4_avx2(std::uint8_t* dst, const std::uint8_t* const src[4],
+                    const std::uint8_t c[4], std::size_t n) {
+  const NibbleTables& nt = nibble_tables();
+  __m256i lo_tab[4], hi_tab[4];
+  for (int j = 0; j < 4; ++j) {
+    lo_tab[j] = load_tab(nt.lo[c[j]]);
+    hi_tab[j] = load_tab(nt.hi[c[j]]);
+  }
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  // Two accumulators per source row split the eight-xor dependency chain
+  // in half; they fold together once per 32-byte block.
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i acc1 = _mm256_setzero_si256();
+    for (int j = 0; j < 4; ++j) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src[j] + i));
+      acc0 = _mm256_xor_si256(
+          acc0, _mm256_shuffle_epi8(lo_tab[j], _mm256_and_si256(s, mask)));
+      acc1 = _mm256_xor_si256(
+          acc1, _mm256_shuffle_epi8(
+                    hi_tab[j],
+                    _mm256_and_si256(_mm256_srli_epi64(s, 4), mask)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(acc0, acc1));
+  }
+  if (i + 16 <= n) {
+    const __m128i m128 = _mm_set1_epi8(0x0F);
+    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    for (int j = 0; j < 4; ++j) {
+      const __m128i s =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src[j] + i));
+      acc = _mm_xor_si128(
+          acc, _mm_shuffle_epi8(_mm256_castsi256_si128(lo_tab[j]),
+                                _mm_and_si128(s, m128)));
+      acc = _mm_xor_si128(
+          acc, _mm_shuffle_epi8(_mm256_castsi256_si128(hi_tab[j]),
+                                _mm_and_si128(_mm_srli_epi64(s, 4), m128)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+    i += 16;
+  }
+  if (i < n) {
+    const std::uint8_t* tails[4] = {src[0] + i, src[1] + i, src[2] + i,
+                                    src[3] + i};
+    scalar_table()->muladd_x4(dst + i, tails, c, n - i);
+  }
+}
+
+constexpr KernelTable kAvx2Table{muladd_avx2, mul_avx2, xor_avx2,
+                                 muladd_x4_avx2, Tier::kAvx2, "avx2"};
+
+}  // namespace
+
+const KernelTable* avx2_table() noexcept {
+  static const KernelTable* t = cpu_has_avx2() ? &kAvx2Table : nullptr;
+  return t;
+}
+
+#else  // !NCFN_HAVE_AVX2
+
+const KernelTable* avx2_table() noexcept { return nullptr; }
+
+#endif
+
+}  // namespace ncfn::gf::simd::detail

@@ -1,0 +1,95 @@
+// Runtime kernel dispatch: resolves the active tier once on first use —
+// the best tier the build and CPU support, unless NCFN_GF_ISA or
+// force_tier() overrides it. Lives in its own translation unit compiled
+// without ISA flags so the selection logic itself runs on any CPU.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "gf/gf256_kernels.hpp"
+
+namespace ncfn::gf::simd {
+
+namespace {
+
+const KernelTable* table_for(Tier t) noexcept {
+  switch (t) {
+    case Tier::kScalar:
+      return detail::scalar_table();
+    case Tier::kSsse3:
+      return detail::ssse3_table();
+    case Tier::kAvx2:
+      return detail::avx2_table();
+    case Tier::kGfni:
+      return detail::gfni_table();
+  }
+  return nullptr;
+}
+
+const KernelTable* auto_select() noexcept {
+  if (const char* e = std::getenv("NCFN_GF_ISA"); e != nullptr) {
+    for (Tier t : {Tier::kScalar, Tier::kSsse3, Tier::kAvx2, Tier::kGfni}) {
+      if (std::strcmp(e, tier_name(t)) == 0) {
+        if (const KernelTable* kt = table_for(t)) return kt;
+      }
+    }
+    // Unknown or unsupported value: fall through to auto selection.
+  }
+  if (const KernelTable* kt = table_for(Tier::kGfni)) return kt;
+  if (const KernelTable* kt = table_for(Tier::kAvx2)) return kt;
+  if (const KernelTable* kt = table_for(Tier::kSsse3)) return kt;
+  return detail::scalar_table();
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+}  // namespace
+
+const KernelTable& kernels() noexcept {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = auto_select();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+Tier active_tier() noexcept { return kernels().tier; }
+
+Tier best_tier() noexcept {
+  if (tier_supported(Tier::kGfni)) return Tier::kGfni;
+  if (tier_supported(Tier::kAvx2)) return Tier::kAvx2;
+  if (tier_supported(Tier::kSsse3)) return Tier::kSsse3;
+  return Tier::kScalar;
+}
+
+bool tier_supported(Tier t) noexcept { return table_for(t) != nullptr; }
+
+const char* tier_name(Tier t) noexcept {
+  switch (t) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSsse3:
+      return "ssse3";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kGfni:
+      return "gfni";
+  }
+  return "?";
+}
+
+bool force_tier(Tier t) noexcept {
+  const KernelTable* kt = table_for(t);
+  if (kt == nullptr) return false;
+  g_active.store(kt, std::memory_order_release);
+  return true;
+}
+
+void reset_tier() noexcept {
+  g_active.store(auto_select(), std::memory_order_release);
+}
+
+bool available() noexcept { return tier_supported(Tier::kSsse3); }
+
+}  // namespace ncfn::gf::simd

@@ -1,0 +1,28 @@
+// Internal: per-tier kernel tables and the shared PSHUFB nibble product
+// tables. Included only by the gf256_* kernel translation units and the
+// dispatcher — the public surface is gf256.hpp / gf256_simd.hpp.
+#pragma once
+
+#include "gf/gf256_simd.hpp"
+
+namespace ncfn::gf::simd::detail {
+
+/// Per-coefficient nibble product tables: lo[c][x] = c * x,
+/// hi[c][x] = c * (x << 4), each 16 bytes — PSHUFB/VPSHUFB operands.
+struct NibbleTables {
+  alignas(16) std::uint8_t lo[256][16];
+  alignas(16) std::uint8_t hi[256][16];
+};
+[[nodiscard]] const NibbleTables& nibble_tables() noexcept;
+
+/// Scalar table-walk kernels; always present (also the tail path of the
+/// vector tiers).
+[[nodiscard]] const KernelTable* scalar_table() noexcept;
+
+/// Vector tiers: null when the build lacks the ISA or the CPU doesn't
+/// report it, so the dispatcher can treat "supported" as non-null.
+[[nodiscard]] const KernelTable* ssse3_table() noexcept;
+[[nodiscard]] const KernelTable* avx2_table() noexcept;
+[[nodiscard]] const KernelTable* gfni_table() noexcept;
+
+}  // namespace ncfn::gf::simd::detail

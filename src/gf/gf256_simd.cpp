@@ -1,6 +1,8 @@
-#include "gf/gf256_simd.hpp"
-
-#include "gf/gf256.hpp"
+// SSSE3 tier: PSHUFB nibble-table kernels, 16 bytes per shuffle. This
+// translation unit is compiled with -mssse3; the runtime CPU probe in
+// ssse3_table() keeps the dispatcher from ever selecting it on hardware
+// that can't run it.
+#include "gf/gf256_kernels.hpp"
 
 #if defined(__SSSE3__)
 #include <tmmintrin.h>
@@ -9,36 +11,13 @@
 #define NCFN_HAVE_SSSE3 0
 #endif
 
-namespace ncfn::gf::simd {
+namespace ncfn::gf::simd::detail {
 
 #if NCFN_HAVE_SSSE3
 
 namespace {
 
-/// Per-coefficient nibble product tables: lo[c][x] = c * x,
-/// hi[c][x] = c * (x << 4), each 16 bytes — PSHUFB operands.
-struct NibbleTables {
-  alignas(16) std::uint8_t lo[256][16];
-  alignas(16) std::uint8_t hi[256][16];
-};
-
-const NibbleTables& nibble_tables() noexcept {
-  static const NibbleTables t = [] {
-    NibbleTables nt{};
-    for (int c = 0; c < 256; ++c) {
-      for (int x = 0; x < 16; ++x) {
-        nt.lo[c][x] = mul(static_cast<u8>(c), static_cast<u8>(x));
-        nt.hi[c][x] = mul(static_cast<u8>(c), static_cast<u8>(x << 4));
-      }
-    }
-    return nt;
-  }();
-  return t;
-}
-
-}  // namespace
-
-bool available() noexcept {
+bool cpu_has_ssse3() noexcept {
 #if defined(__GNUC__) || defined(__clang__)
   return __builtin_cpu_supports("ssse3") != 0;
 #else
@@ -46,9 +25,8 @@ bool available() noexcept {
 #endif
 }
 
-void bulk_muladd(std::span<std::uint8_t> dst,
-                 std::span<const std::uint8_t> src, std::uint8_t c) noexcept {
-  if (c == 0) return;
+void muladd_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                  std::uint8_t c) {
   const NibbleTables& nt = nibble_tables();
   const __m128i lo_tab =
       _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
@@ -57,30 +35,43 @@ void bulk_muladd(std::span<std::uint8_t> dst,
   const __m128i mask = _mm_set1_epi8(0x0F);
 
   std::size_t i = 0;
-  const std::size_t n = dst.size();
+  // Two independent 16-byte streams per iteration hide the
+  // shuffle->xor->store latency chain on long buffers.
+  for (; i + 32 <= n; i += 32) {
+    const __m128i s0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i s1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    const __m128i d0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i d1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + 16));
+    const __m128i lo0 = _mm_shuffle_epi8(lo_tab, _mm_and_si128(s0, mask));
+    const __m128i lo1 = _mm_shuffle_epi8(lo_tab, _mm_and_si128(s1, mask));
+    const __m128i hi0 =
+        _mm_shuffle_epi8(hi_tab, _mm_and_si128(_mm_srli_epi64(s0, 4), mask));
+    const __m128i hi1 =
+        _mm_shuffle_epi8(hi_tab, _mm_and_si128(_mm_srli_epi64(s1, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d0, _mm_xor_si128(lo0, hi0)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16),
+                     _mm_xor_si128(d1, _mm_xor_si128(lo1, hi1)));
+  }
   for (; i + 16 <= n; i += 16) {
     const __m128i s =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&src[i]));
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
     const __m128i d =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&dst[i]));
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
     const __m128i lo = _mm_shuffle_epi8(lo_tab, _mm_and_si128(s, mask));
-    const __m128i hi = _mm_shuffle_epi8(
-        hi_tab, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
-    const __m128i prod = _mm_xor_si128(lo, hi);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(&dst[i]),
-                     _mm_xor_si128(d, prod));
+    const __m128i hi =
+        _mm_shuffle_epi8(hi_tab, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(lo, hi)));
   }
-  // Scalar tail.
-  const std::uint8_t* row = detail::tables().mul[c];
-  for (; i < n; ++i) dst[i] ^= row[src[i]];
+  if (i < n) scalar_table()->muladd(dst + i, src + i, n - i, c);
 }
 
-void bulk_mul(std::span<std::uint8_t> dst, std::uint8_t c) noexcept {
-  if (c == 1) return;
-  if (c == 0) {
-    for (auto& b : dst) b = 0;
-    return;
-  }
+void mul_ssse3(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
   const NibbleTables& nt = nibble_tables();
   const __m128i lo_tab =
       _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
@@ -89,29 +80,80 @@ void bulk_mul(std::span<std::uint8_t> dst, std::uint8_t c) noexcept {
   const __m128i mask = _mm_set1_epi8(0x0F);
 
   std::size_t i = 0;
-  const std::size_t n = dst.size();
   for (; i + 16 <= n; i += 16) {
     const __m128i d =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&dst[i]));
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
     const __m128i lo = _mm_shuffle_epi8(lo_tab, _mm_and_si128(d, mask));
-    const __m128i hi = _mm_shuffle_epi8(
-        hi_tab, _mm_and_si128(_mm_srli_epi64(d, 4), mask));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(&dst[i]),
+    const __m128i hi =
+        _mm_shuffle_epi8(hi_tab, _mm_and_si128(_mm_srli_epi64(d, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
                      _mm_xor_si128(lo, hi));
   }
-  const std::uint8_t* row = detail::tables().mul[c];
-  for (; i < n; ++i) dst[i] = row[dst[i]];
+  if (i < n) scalar_table()->mul(dst + i, n - i, c);
+}
+
+void xor_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, s));
+  }
+  if (i < n) scalar_table()->bxor(dst + i, src + i, n - i);
+}
+
+void muladd_x4_ssse3(std::uint8_t* dst, const std::uint8_t* const src[4],
+                     const std::uint8_t c[4], std::size_t n) {
+  const NibbleTables& nt = nibble_tables();
+  __m128i lo_tab[4], hi_tab[4];
+  for (int j = 0; j < 4; ++j) {
+    lo_tab[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c[j]]));
+    hi_tab[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c[j]]));
+  }
+  const __m128i mask = _mm_set1_epi8(0x0F);
+
+  std::size_t i = 0;
+  // Two accumulators per source row split the eight-xor dependency chain
+  // in half; they fold together once per 16-byte block.
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i acc1 = _mm_setzero_si128();
+    for (int j = 0; j < 4; ++j) {
+      const __m128i s =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src[j] + i));
+      acc0 = _mm_xor_si128(
+          acc0, _mm_shuffle_epi8(lo_tab[j], _mm_and_si128(s, mask)));
+      acc1 = _mm_xor_si128(
+          acc1, _mm_shuffle_epi8(hi_tab[j],
+                                 _mm_and_si128(_mm_srli_epi64(s, 4), mask)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(acc0, acc1));
+  }
+  if (i < n) {
+    const std::uint8_t* tails[4] = {src[0] + i, src[1] + i, src[2] + i,
+                                    src[3] + i};
+    scalar_table()->muladd_x4(dst + i, tails, c, n - i);
+  }
+}
+
+constexpr KernelTable kSsse3Table{muladd_ssse3, mul_ssse3, xor_ssse3,
+                                  muladd_x4_ssse3, Tier::kSsse3, "ssse3"};
+
+}  // namespace
+
+const KernelTable* ssse3_table() noexcept {
+  static const KernelTable* t = cpu_has_ssse3() ? &kSsse3Table : nullptr;
+  return t;
 }
 
 #else  // !NCFN_HAVE_SSSE3
 
-bool available() noexcept { return false; }
-
-void bulk_muladd(std::span<std::uint8_t>, std::span<const std::uint8_t>,
-                 std::uint8_t) noexcept {}
-
-void bulk_mul(std::span<std::uint8_t>, std::uint8_t) noexcept {}
+const KernelTable* ssse3_table() noexcept { return nullptr; }
 
 #endif
 
-}  // namespace ncfn::gf::simd
+}  // namespace ncfn::gf::simd::detail

@@ -1,31 +1,71 @@
-// SIMD kernels for the GF(2^8) hot path.
+// SIMD kernels for the GF(2^8) hot path, behind a runtime dispatch table.
 //
-// The classic PSHUFB technique (used by Kodo, ISA-L, etc.): split every
-// source byte into nibbles and resolve c*x through two 16-entry lookup
-// tables with a byte shuffle, processing 16 bytes per instruction. The
-// per-coefficient tables (16 B low-nibble + 16 B high-nibble products)
-// are precomputed for all 256 coefficients at startup (8 KiB total).
+// Three tiers of the classic nibble-table technique (used by Kodo, ISA-L,
+// Jerasure): split every source byte into nibbles and resolve c*x through
+// two 16-entry lookup tables with a byte shuffle.
 //
-// The public entry points in gf256.hpp dispatch here automatically when
-// the build has SSSE3 support and the CPU reports it; everything falls
-// back to the scalar table kernels otherwise, so results are identical
-// on every platform (tests assert bit-equality).
+//   * scalar — one 256-byte product-table row per coefficient (baseline,
+//     kept for the ablation and as the tail path);
+//   * ssse3  — PSHUFB, 16 bytes per shuffle;
+//   * avx2   — VPSHUFB, 32 bytes per shuffle with the 16-byte tables
+//     broadcast to both 128-bit lanes;
+//   * gfni   — GF2P8AFFINEQB: multiplication by a constant is a linear
+//     map over GF(2), so one affine instruction per 32 bytes replaces the
+//     whole nibble dance (the ISA-L modern path).
+//
+// Each tier also provides a fused four-row kernel (muladd_x4) that
+// accumulates four source rows per pass over dst — the ISA-L/Jerasure
+// trick that cuts dst load/store traffic 4x on generation encodes.
+//
+// The active tier is resolved once on first use: the best tier the build
+// and CPU both support, unless the NCFN_GF_ISA environment variable
+// ("scalar" | "ssse3" | "avx2" | "gfni") or force_tier() overrides it.
+// All tiers are bit-exact (tests assert equality across every tier).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <span>
 
 namespace ncfn::gf::simd {
 
-/// True if this build and CPU can run the SSSE3 kernels.
+/// Instruction-set tiers for the bulk kernels, worst to best.
+enum class Tier : int { kScalar = 0, kSsse3 = 1, kAvx2 = 2, kGfni = 3 };
+
+/// One tier's kernels. Raw-pointer signatures — the gf:: wrappers add the
+/// span/precondition layer. Every kernel accepts any n and handles
+/// sub-vector tails internally.
+struct KernelTable {
+  void (*muladd)(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
+                 std::uint8_t c);  // dst[i] ^= c * src[i]
+  void (*mul)(std::uint8_t* dst, std::size_t n,
+              std::uint8_t c);  // dst[i] = c * dst[i]
+  void (*bxor)(std::uint8_t* dst, const std::uint8_t* src,
+               std::size_t n);  // dst[i] ^= src[i]
+  /// dst[i] ^= c[0]*src[0][i] ^ c[1]*src[1][i] ^ c[2]*src[2][i]
+  ///           ^ c[3]*src[3][i] — four source rows fused into one pass
+  /// over dst (one dst load + store per four rows).
+  void (*muladd_x4)(std::uint8_t* dst, const std::uint8_t* const src[4],
+                    const std::uint8_t c[4], std::size_t n);
+  Tier tier;
+  const char* name;
+};
+
+/// The active kernel table (dispatch resolved on first call).
+[[nodiscard]] const KernelTable& kernels() noexcept;
+
+[[nodiscard]] Tier active_tier() noexcept;
+/// Best tier this build + CPU can run.
+[[nodiscard]] Tier best_tier() noexcept;
+[[nodiscard]] bool tier_supported(Tier t) noexcept;
+[[nodiscard]] const char* tier_name(Tier t) noexcept;
+
+/// Force dispatch to a tier (tests, ablation). Returns false and leaves
+/// dispatch unchanged when the build/CPU can't run it.
+bool force_tier(Tier t) noexcept;
+/// Drop any force_tier() override; dispatch reverts to env/auto selection.
+void reset_tier() noexcept;
+
+/// True if any vector tier (SSSE3 or better) can run on this build + CPU.
 [[nodiscard]] bool available() noexcept;
-
-/// dst[i] ^= c * src[i]; preconditions as gf::bulk_muladd. Only call when
-/// available() is true.
-void bulk_muladd(std::span<std::uint8_t> dst,
-                 std::span<const std::uint8_t> src, std::uint8_t c) noexcept;
-
-/// dst[i] = c * dst[i]; only call when available() is true.
-void bulk_mul(std::span<std::uint8_t> dst, std::uint8_t c) noexcept;
 
 }  // namespace ncfn::gf::simd

@@ -20,10 +20,12 @@ void Link::transmit(Datagram d) {
 
   if (loss_ && loss_->drop(net_.rng())) {
     ++stats_.dropped_loss;
+    net_.recycle_buffer(std::move(d.payload));
     return;
   }
   if (queued_ >= queue_limit_) {
     ++stats_.dropped_queue;
+    net_.recycle_buffer(std::move(d.payload));
     return;
   }
 
@@ -42,6 +44,9 @@ void Link::transmit(Datagram d) {
     ++stats_.delivered;
     stats_.bytes_delivered += pkt.wire_bytes();
     net_.deliver(pkt);
+    // Handlers see the datagram by const reference (and copy what they
+    // keep), so the payload storage can go back to the pool.
+    net_.recycle_buffer(std::move(pkt.payload));
   });
 }
 
@@ -82,9 +87,27 @@ void Network::unbind(NodeId node, Port port) {
 
 bool Network::send(Datagram d) {
   Link* l = link(d.src, d.dst);
-  if (l == nullptr) return false;
+  if (l == nullptr) {
+    recycle_buffer(std::move(d.payload));
+    return false;
+  }
   l->transmit(std::move(d));
   return true;
+}
+
+std::vector<std::uint8_t> Network::take_buffer() {
+  if (buffer_pool_.empty()) return {};
+  std::vector<std::uint8_t> buf = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void Network::recycle_buffer(std::vector<std::uint8_t>&& buf) {
+  if (buf.capacity() == 0 || buffer_pool_.size() >= kMaxRecycledBuffers) {
+    return;
+  }
+  buffer_pool_.push_back(std::move(buf));
 }
 
 void Network::deliver(const Datagram& d) {

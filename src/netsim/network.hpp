@@ -148,12 +148,26 @@ class Network {
   // Internal: called by Link to hand a datagram to the destination node.
   void deliver(const Datagram& d);
 
+  /// Payload-buffer recycling. take_buffer() hands out an empty vector
+  /// whose capacity was earned by an earlier recycled datagram, so the
+  /// steady-state send path reuses storage instead of allocating.
+  /// recycle_buffer() returns a payload (typically from a consumed or
+  /// dropped datagram) to the bounded freelist.
+  [[nodiscard]] std::vector<std::uint8_t> take_buffer();
+  void recycle_buffer(std::vector<std::uint8_t>&& buf);
+  [[nodiscard]] std::size_t recycled_buffers() const {
+    return buffer_pool_.size();
+  }
+
  private:
+  static constexpr std::size_t kMaxRecycledBuffers = 4096;
+
   Simulator sim_;
   std::mt19937 rng_;
   std::vector<std::string> node_names_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
   std::map<std::pair<NodeId, Port>, DatagramHandler> handlers_;
+  std::vector<std::vector<std::uint8_t>> buffer_pool_;
 };
 
 }  // namespace ncfn::netsim

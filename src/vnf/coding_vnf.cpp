@@ -82,7 +82,7 @@ std::size_t CodingVnf::lane_of(coding::SessionId s,
 }
 
 void CodingVnf::on_datagram(const netsim::Datagram& d) {
-  auto pkt = coding::CodedPacket::parse(d.payload, cfg_.params);
+  auto pkt = coding::CodedPacket::parse(d.payload, cfg_.params, buffer_.pool());
   if (!pkt) return;  // not an NC packet for our parameters
   auto sit = sessions_.find(pkt->session);
   if (sit == sessions_.end()) return;
@@ -149,7 +149,8 @@ void CodingVnf::process(coding::CodedPacket pkt) {
           d.src = node_;
           d.dst = hop.node;
           d.dst_port = hop.port;
-          d.payload = pkt.serialize();
+          d.payload = net_.take_buffer();
+          pkt.serialize_into(d.payload);
           if (net_.send(std::move(d))) ++st.stats.emitted;
         }
       } else {
@@ -210,7 +211,8 @@ void CodingVnf::emit(SessionState& st, const coding::CodedPacket& arrival,
       d.src = node_;
       d.dst = st.hops[h].hop.node;
       d.dst_port = st.hops[h].hop.port;
-      d.payload = out.serialize();
+      d.payload = net_.take_buffer();
+      out.serialize_into(d.payload);
       if (net_.send(std::move(d))) ++st.stats.emitted;
     }
   }
@@ -225,7 +227,8 @@ void CodingVnf::send_recoded(SessionState& st, coding::Decoder& dec,
   d.src = node_;
   d.dst = st.hops[hop].hop.node;
   d.dst_port = st.hops[hop].hop.port;
-  d.payload = dec.recode(rng_).serialize();
+  d.payload = net_.take_buffer();
+  dec.recode(rng_).serialize_into(d.payload);
   if (net_.send(std::move(d))) ++st.stats.emitted;
 }
 

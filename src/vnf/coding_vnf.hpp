@@ -60,9 +60,10 @@ struct VnfConfig {
   coding::CodingParams params;
   /// GF(2^8) bulk-op throughput of one VNF instance, bytes/second. The
   /// default models a 2016-era cloud VM core doing scalar table-driven
-  /// muladd (the paper's testbed); this repo's own codec measures ~2 GB/s
-  /// scalar and ~10 GB/s with the SSSE3 kernels (bench_micro_codec), so
-  /// raise this if you want to model modern SIMD-equipped VNFs.
+  /// muladd (the paper's testbed); this repo's own codec measures ~1.9 GB/s
+  /// scalar, ~15 GB/s SSSE3, ~21 GB/s AVX2 and ~30 GB/s GFNI on the bulk
+  /// kernels (bench_micro_codec), so raise this if you want to model
+  /// modern SIMD-equipped VNFs.
   double proc_rate_Bps = 4e8;
   /// Fixed per-packet overhead (header parse, socket, dispatch).
   double fixed_overhead_s = 5e-6;

@@ -3,6 +3,7 @@
 // generation buffer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 #include "coding/buffer.hpp"
@@ -37,19 +38,30 @@ TEST(CodingParams, SizesMatchThePaper) {
 
 TEST(Packet, SerializeParseRoundTrip) {
   CodingParams p;
-  CodedPacket pkt;
-  pkt.session = 0xDEADBEEF;
-  pkt.generation = 42;
-  pkt.coeffs = {1, 2, 3, 4};
-  pkt.payload = random_bytes(p.block_size, 7);
+  const std::vector<std::uint8_t> coeffs{1, 2, 3, 4};
+  const auto payload = random_bytes(p.block_size, 7);
+  const auto pkt = CodedPacket::make(0xDEADBEEF, 42, coeffs, payload);
   const auto wire = pkt.serialize();
   EXPECT_EQ(wire.size(), p.packet_bytes());
   const auto back = CodedPacket::parse(wire, p);
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->session, pkt.session);
   EXPECT_EQ(back->generation, pkt.generation);
-  EXPECT_EQ(back->coeffs, pkt.coeffs);
-  EXPECT_EQ(back->payload, pkt.payload);
+  EXPECT_TRUE(std::ranges::equal(back->coeffs(), coeffs));
+  EXPECT_TRUE(std::ranges::equal(back->payload(), payload));
+}
+
+TEST(Packet, SerializeIntoReusesCallerStorage) {
+  CodingParams p;
+  const std::vector<std::uint8_t> coeffs{9, 0, 0, 1};
+  const auto payload = random_bytes(p.block_size, 8);
+  const auto pkt = CodedPacket::make(5, 6, coeffs, payload);
+  std::vector<std::uint8_t> wire;
+  wire.reserve(p.packet_bytes());
+  const auto* data_before = wire.data();
+  pkt.serialize_into(wire);
+  EXPECT_EQ(wire.data(), data_before);  // capacity was enough: no realloc
+  EXPECT_EQ(wire, pkt.serialize());
 }
 
 TEST(Packet, ParseRejectsWrongSize) {
@@ -61,15 +73,15 @@ TEST(Packet, ParseRejectsWrongSize) {
 }
 
 TEST(Packet, SystematicIndexDetection) {
-  CodedPacket pkt;
-  pkt.coeffs = {0, 1, 0, 0};
-  EXPECT_EQ(pkt.systematic_index(), 1u);
-  pkt.coeffs = {0, 2, 0, 0};
-  EXPECT_FALSE(pkt.systematic_index().has_value());
-  pkt.coeffs = {1, 1, 0, 0};
-  EXPECT_FALSE(pkt.systematic_index().has_value());
-  pkt.coeffs = {0, 0, 0, 0};
-  EXPECT_FALSE(pkt.systematic_index().has_value());  // all-zero: not valid
+  const std::vector<std::uint8_t> payload(16, 0);
+  auto with_coeffs = [&](std::vector<std::uint8_t> cs) {
+    return CodedPacket::make(1, 0, cs, payload);
+  };
+  EXPECT_EQ(with_coeffs({0, 1, 0, 0}).systematic_index(), 1u);
+  EXPECT_FALSE(with_coeffs({0, 2, 0, 0}).systematic_index().has_value());
+  EXPECT_FALSE(with_coeffs({1, 1, 0, 0}).systematic_index().has_value());
+  // All-zero coefficients: not a valid systematic packet.
+  EXPECT_FALSE(with_coeffs({0, 0, 0, 0}).systematic_index().has_value());
 }
 
 TEST(Generation, PadsTailBlock) {

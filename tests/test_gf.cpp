@@ -156,53 +156,158 @@ TEST(Gf256Bulk, DotProduct) {
   EXPECT_EQ(gf::dot(a, b), want);
 }
 
-// ---- SIMD kernels ----
+// ---- Kernel tiers (scalar / SSSE3 / AVX2) and runtime dispatch ----
 
+#include <algorithm>
+
+#include "coding/encoder.hpp"
+#include "coding/generation.hpp"
 #include "gf/gf256_simd.hpp"
 
-TEST(Gf256Simd, MulAddMatchesScalarAtEverySizeAndAlignment) {
-  if (!gf::simd::available()) GTEST_SKIP() << "no SSSE3 on this target";
+namespace {
+
+std::vector<gf::simd::Tier> supported_tiers() {
+  std::vector<gf::simd::Tier> tiers;
+  for (const auto t : {gf::simd::Tier::kScalar, gf::simd::Tier::kSsse3,
+                       gf::simd::Tier::kAvx2, gf::simd::Tier::kGfni}) {
+    if (gf::simd::tier_supported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+/// RAII tier override: all public gf::bulk_* calls inside the scope run on
+/// the forced kernel tier.
+class ForcedTier {
+ public:
+  explicit ForcedTier(gf::simd::Tier t) {
+    EXPECT_TRUE(gf::simd::force_tier(t)) << gf::simd::tier_name(t);
+  }
+  ~ForcedTier() { gf::simd::reset_tier(); }
+};
+
+// Sizes straddle the 16- and 32-byte vector widths (so every tier
+// exercises its main loop, its narrower step, and its scalar tail) and the
+// wire block size; offsets force misaligned operands.
+constexpr std::size_t kDiffSizes[] = {0, 1, 15, 16, 17, 31, 32, 33, 1460};
+constexpr std::size_t kDiffOffsets[] = {0, 1, 7};
+
+std::vector<gf::u8> random_buf(std::size_t n, std::mt19937& rng) {
+  std::vector<gf::u8> out(n);
+  std::uniform_int_distribution<int> d(0, 255);
+  for (auto& b : out) b = static_cast<gf::u8>(d(rng));
+  return out;
+}
+
+}  // namespace
+
+TEST(Gf256Tiers, EverySupportedTierIsSelectable) {
+  ASSERT_TRUE(gf::simd::tier_supported(gf::simd::Tier::kScalar));
+  for (const auto t : supported_tiers()) {
+    ForcedTier forced(t);
+    EXPECT_EQ(gf::simd::active_tier(), t);
+  }
+  gf::simd::reset_tier();
+  EXPECT_EQ(gf::simd::active_tier(), gf::simd::best_tier());
+}
+
+TEST(Gf256Tiers, MulAddMatchesReferenceOnEveryTierSizeAndAlignment) {
   std::mt19937 rng(11);
   std::uniform_int_distribution<int> d(0, 255);
-  // Sizes straddling the 16-byte vector width and the dispatch threshold,
-  // plus unaligned starting offsets.
-  for (const std::size_t size : {64u, 65u, 79u, 128u, 1460u, 4097u}) {
-    for (const std::size_t offset : {0u, 1u, 7u}) {
-      std::vector<gf::u8> dst_simd(size + offset), src(size + offset);
-      for (std::size_t i = 0; i < src.size(); ++i) {
-        dst_simd[i] = static_cast<gf::u8>(d(rng));
-        src[i] = static_cast<gf::u8>(d(rng));
+  for (const auto tier : supported_tiers()) {
+    ForcedTier forced(tier);
+    for (const std::size_t size : kDiffSizes) {
+      for (const std::size_t offset : kDiffOffsets) {
+        auto dst = random_buf(size + offset, rng);
+        const auto src = random_buf(size + offset, rng);
+        const auto c = static_cast<gf::u8>(d(rng));
+        auto expect = dst;
+        for (std::size_t i = offset; i < size + offset; ++i) {
+          expect[i] ^= gf::mul(c, src[i]);
+        }
+        gf::bulk_muladd(std::span<gf::u8>(dst).subspan(offset),
+                        std::span<const gf::u8>(src).subspan(offset), c);
+        ASSERT_EQ(dst, expect)
+            << gf::simd::tier_name(tier) << " size=" << size
+            << " off=" << offset << " c=" << int(c);
       }
-      auto dst_scalar = dst_simd;
-      const auto c = static_cast<gf::u8>(d(rng) | 1);
-      gf::simd::bulk_muladd(
-          std::span<gf::u8>(dst_simd).subspan(offset),
-          std::span<const gf::u8>(src).subspan(offset), c);
-      // Scalar reference.
-      const auto& t = gf::detail::tables();
-      for (std::size_t i = offset; i < size + offset; ++i) {
-        dst_scalar[i] ^= t.mul[c][src[i]];
-      }
-      ASSERT_EQ(dst_simd, dst_scalar) << "size=" << size << " off=" << offset
-                                      << " c=" << int(c);
     }
   }
 }
 
-TEST(Gf256Simd, MulMatchesScalar) {
-  if (!gf::simd::available()) GTEST_SKIP() << "no SSSE3 on this target";
+TEST(Gf256Tiers, MulAndXorMatchReferenceOnEveryTier) {
   std::mt19937 rng(12);
   std::uniform_int_distribution<int> d(0, 255);
-  for (const int c : {0, 1, 2, 0x53, 255}) {
-    std::vector<gf::u8> v(333);
-    for (auto& b : v) b = static_cast<gf::u8>(d(rng));
-    auto expect = v;
-    const auto& t = gf::detail::tables();
-    for (auto& b : expect) {
-      b = c == 0 ? 0 : t.mul[c][b];
+  for (const auto tier : supported_tiers()) {
+    ForcedTier forced(tier);
+    for (const std::size_t size : kDiffSizes) {
+      for (const int c : {0, 1, 2, 0x53, 255}) {
+        auto v = random_buf(size, rng);
+        auto expect = v;
+        for (auto& b : expect) b = gf::mul(static_cast<gf::u8>(c), b);
+        gf::bulk_mul(v, static_cast<gf::u8>(c));
+        ASSERT_EQ(v, expect)
+            << gf::simd::tier_name(tier) << " size=" << size << " c=" << c;
+      }
+      auto a = random_buf(size, rng);
+      const auto b = random_buf(size, rng);
+      auto expect = a;
+      for (std::size_t i = 0; i < size; ++i) expect[i] ^= b[i];
+      gf::bulk_xor(a, b);
+      ASSERT_EQ(a, expect) << gf::simd::tier_name(tier) << " size=" << size;
     }
-    gf::simd::bulk_mul(v, static_cast<gf::u8>(c));
-    EXPECT_EQ(v, expect) << c;
+  }
+}
+
+TEST(Gf256Tiers, FusedX4MatchesFourSingleMulAdds) {
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<int> d(0, 255);
+  for (const auto tier : supported_tiers()) {
+    ForcedTier forced(tier);
+    for (const std::size_t size : kDiffSizes) {
+      for (const std::size_t offset : kDiffOffsets) {
+        auto fused = random_buf(size + offset, rng);
+        auto serial = fused;
+        std::vector<std::vector<gf::u8>> rows;
+        const gf::u8 c4[4] = {
+            static_cast<gf::u8>(d(rng)), 0,  // zero coefficient in the mix
+            static_cast<gf::u8>(d(rng)), static_cast<gf::u8>(d(rng))};
+        for (int r = 0; r < 4; ++r) rows.push_back(random_buf(size + offset, rng));
+        const gf::u8* src[4] = {rows[0].data() + offset, rows[1].data() + offset,
+                                rows[2].data() + offset, rows[3].data() + offset};
+        gf::bulk_muladd_x4(std::span<gf::u8>(fused).subspan(offset), src, c4);
+        for (int r = 0; r < 4; ++r) {
+          gf::bulk_muladd(std::span<gf::u8>(serial).subspan(offset),
+                          std::span<const gf::u8>(rows[r]).subspan(offset),
+                          c4[r]);
+        }
+        ASSERT_EQ(fused, serial) << gf::simd::tier_name(tier)
+                                 << " size=" << size << " off=" << offset;
+      }
+    }
+  }
+}
+
+TEST(Gf256Tiers, AllTiersEncodeByteIdenticalPackets) {
+  // The dispatch proof: forcing each tier and encoding the same generation
+  // with the same coefficients must give byte-identical wire packets.
+  ncfn::coding::CodingParams p;  // 1460-byte blocks, 4 per generation
+  std::mt19937 data_rng(14);
+  auto data = random_buf(p.generation_bytes(), data_rng);
+  ncfn::coding::Generation gen(0, data, p);
+  const std::vector<std::uint8_t> coeffs{0x8E, 0x01, 0x00, 0xF3};
+
+  std::vector<std::vector<std::uint8_t>> wires;
+  for (const auto tier : supported_tiers()) {
+    ForcedTier forced(tier);
+    std::mt19937 rng(15);
+    ncfn::coding::Encoder enc(1, gen, rng);
+    wires.push_back(enc.encode_with(coeffs).serialize());
+  }
+  ASSERT_GE(wires.size(), 1u);
+  for (std::size_t i = 1; i < wires.size(); ++i) {
+    EXPECT_EQ(wires[i], wires[0])
+        << "tier " << gf::simd::tier_name(supported_tiers()[i])
+        << " disagrees with scalar";
   }
 }
 

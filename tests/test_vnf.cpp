@@ -3,6 +3,8 @@
 // table-update cost, tau shutdown and reuse).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "app/provider.hpp"
 #include "coding/encoder.hpp"
 #include "ctrl/signals.hpp"
@@ -106,8 +108,8 @@ TEST(CodingVnf, FirstPacketOfGenerationPassesThroughUnchanged) {
   rig.send_packet(first, 9000);
   rig.net.sim().run();
   ASSERT_EQ(received.size(), 1u);
-  EXPECT_EQ(received[0].coeffs, first.coeffs);
-  EXPECT_EQ(received[0].payload, first.payload);
+  EXPECT_TRUE(std::ranges::equal(received[0].coeffs(), first.coeffs()));
+  EXPECT_TRUE(std::ranges::equal(received[0].payload(), first.payload()));
 }
 
 TEST(CodingVnf, CreditSharesThinTheStream) {

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Run the codec microbenchmarks and record machine-readable results at the
+# repo root (BENCH_micro_codec.json). These numbers calibrate
+# VnfConfig::proc_rate_Bps; see DESIGN.md "Data-plane memory model".
+#
+# Usage: tools/bench_micro.sh [build-dir] [extra benchmark args...]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bin="$build_dir/bench/bench_micro_codec"
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not built (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+exec "$bin" \
+  --benchmark_out="$repo_root/BENCH_micro_codec.json" \
+  --benchmark_out_format=json \
+  "$@"
