@@ -95,11 +95,11 @@ inline ButterflyRunResult run_nc_butterfly(const ButterflyRunConfig& cfg) {
   r.goodput_mbps = session.session_goodput_mbps();
   for (int k = 0; k < 2; ++k) {
     r.rx_goodput[k] = session.receiver(static_cast<std::size_t>(k)).goodput_mbps();
-    r.repair_requests +=
-        session.receiver(static_cast<std::size_t>(k)).stats().repair_requests_sent;
-    r.verify_failures +=
-        session.receiver(static_cast<std::size_t>(k)).stats().verify_failures;
   }
+  // Session-wide totals come from the shared metrics registry — the same
+  // numbers every other consumer (ncfn-run --metrics-out, tests) sees.
+  r.repair_requests = sim.metrics().counter_value("app.repair_requests_sent");
+  r.verify_failures = sim.metrics().counter_value("app.verify_failures");
   int k = 0;
   for (const auto& [node, rtt] : session.source().stats().first_gen_ack_rtt) {
     if (k < 2) r.first_gen_ack_rtt[k++] = rtt;
@@ -141,9 +141,8 @@ inline ButterflyRunResult run_tree_butterfly(const ButterflyRunConfig& cfg) {
   r.goodput_mbps = session.session_goodput_mbps();
   for (int k = 0; k < 2; ++k) {
     r.rx_goodput[k] = session.receiver(static_cast<std::size_t>(k)).goodput_mbps();
-    r.repair_requests +=
-        session.receiver(static_cast<std::size_t>(k)).stats().repair_requests_sent;
   }
+  r.repair_requests = sim.metrics().counter_value("app.repair_requests_sent");
   int k = 0;
   for (const auto& [node, rtt] : session.source().stats().first_gen_ack_rtt) {
     if (k < 2) r.first_gen_ack_rtt[k++] = rtt;

@@ -8,6 +8,7 @@ namespace ncfn::app {
 
 Orchestrator::Orchestrator(SimNet& sim, Config cfg)
     : sim_(sim), cfg_(cfg), ctl_(sim.topo(), cfg.controller) {
+  ctl_.set_obs(&sim_.obs());
   netsim::Network& net = sim_.net();
   ctl_node_ = net.add_node("controller");
 

@@ -8,6 +8,12 @@ namespace ncfn::app {
 McReceiver::McReceiver(netsim::Network& net, netsim::NodeId node,
                        const GenerationProvider& provider, ReceiverConfig cfg)
     : net_(net), node_(node), provider_(provider), cfg_(cfg) {
+  if (obs::Observability* obs = net_.obs()) {
+    m_generations_decoded_ = &obs->metrics.counter("app.generations_decoded");
+    m_payload_bytes_ = &obs->metrics.counter("app.payload_bytes");
+    m_repair_requests_ = &obs->metrics.counter("app.repair_requests_sent");
+    m_verify_failures_ = &obs->metrics.counter("app.verify_failures");
+  }
   cfg_.vnf.params = cfg_.params;
   vnf_ = std::make_unique<vnf::CodingVnf>(net_, node_, cfg_.vnf);
   vnf_->configure_session(cfg_.session, ctrl::VnfRole::kDecode,
@@ -107,7 +113,10 @@ void McReceiver::arm_repair_timer(coding::GenerationId gen) {
     d.dst = cfg_.source_node;
     d.dst_port = cfg_.source_feedback_port;
     d.payload = fb.serialize();
-    if (net_.send(std::move(d))) ++stats_.repair_requests_sent;
+    if (net_.send(std::move(d))) {
+      ++stats_.repair_requests_sent;
+      if (m_repair_requests_ != nullptr) m_repair_requests_->inc();
+    }
     arm_repair_timer(gen);  // keep retrying until decoded or capped
   });
 }
@@ -125,6 +134,10 @@ void McReceiver::on_generation_decoded(
   const std::size_t n = off < total ? std::min(gen_bytes, total - off) : 0;
   stats_.payload_bytes += n;
   ++stats_.generations_decoded;
+  if (m_generations_decoded_ != nullptr) {
+    m_generations_decoded_->inc();
+    m_payload_bytes_->inc(n);
+  }
 
   if (verify_ != nullptr) {
     const auto expected = verify_->generation_bytes(gen);
@@ -141,7 +154,10 @@ void McReceiver::on_generation_decoded(
       }
       if (!ok) break;
     }
-    if (!ok) ++stats_.verify_failures;
+    if (!ok) {
+      ++stats_.verify_failures;
+      if (m_verify_failures_ != nullptr) m_verify_failures_->inc();
+    }
   }
 
   if (ordered_sink_) {

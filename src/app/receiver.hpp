@@ -114,6 +114,11 @@ class McReceiver {
   OrderedSink ordered_sink_;
   coding::GenerationId next_ordered_ = 0;
   std::map<coding::GenerationId, std::vector<std::uint8_t>> held_back_;
+  // Cached registry handles (null without a hub on the network).
+  obs::Counter* m_generations_decoded_ = nullptr;
+  obs::Counter* m_payload_bytes_ = nullptr;
+  obs::Counter* m_repair_requests_ = nullptr;
+  obs::Counter* m_verify_failures_ = nullptr;
 };
 
 }  // namespace ncfn::app

@@ -10,7 +10,11 @@
 namespace ncfn::app {
 
 SimNet::SimNet(const graph::Topology& topo, SimNetConfig cfg)
-    : topo_(&topo), net_(cfg.seed) {
+    : obs_(std::make_unique<obs::Observability>()),
+      topo_(&topo),
+      net_(cfg.seed) {
+  obs_->trace.set_clock([sim = &net_.sim()] { return sim->now(); });
+  net_.set_obs(obs_.get());
   for (int i = 0; i < topo.node_count(); ++i) {
     const netsim::NodeId id = net_.add_node(topo.node(i).name);
     assert(id == static_cast<netsim::NodeId>(i));

@@ -21,6 +21,7 @@
 #include "ctrl/problem.hpp"
 #include "graph/topology.hpp"
 #include "netsim/network.hpp"
+#include "obs/obs.hpp"
 #include "vnf/coding_vnf.hpp"
 
 namespace ncfn::app {
@@ -40,6 +41,12 @@ class SimNet {
   explicit SimNet(const graph::Topology& topo, SimNetConfig cfg = {});
 
   [[nodiscard]] netsim::Network& net() { return net_; }
+  /// Observability hub shared by every layer of this simulated cloud.
+  /// Metrics are always collected; the event trace is off until
+  /// trace().enable() — both stamped with the simulator clock.
+  [[nodiscard]] obs::Observability& obs() { return *obs_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return obs_->metrics; }
+  [[nodiscard]] obs::EventTrace& trace() { return obs_->trace; }
   [[nodiscard]] const graph::Topology& topo() const { return *topo_; }
   [[nodiscard]] netsim::NodeId node(graph::NodeIdx i) const {
     return static_cast<netsim::NodeId>(i);
@@ -51,6 +58,9 @@ class SimNet {
   [[nodiscard]] vnf::CodingVnf* find_vnf(graph::NodeIdx node);
 
  private:
+  // Declared first so it outlives the network, links, and VNFs that cache
+  // raw handles into it.
+  std::unique_ptr<obs::Observability> obs_;
   const graph::Topology* topo_;
   netsim::Network net_;
   std::map<graph::NodeIdx, std::unique_ptr<vnf::CodingVnf>> vnfs_;

@@ -14,6 +14,13 @@ constexpr std::size_t kEncoderCacheLimit = 8;
 McSource::McSource(netsim::Network& net, netsim::NodeId node,
                    const GenerationProvider& provider, SourceConfig cfg)
     : net_(net), node_(node), provider_(provider), cfg_(cfg), rng_(cfg.seed) {
+  if (obs::Observability* obs = net_.obs()) {
+    m_packets_sent_ = &obs->metrics.counter("app.packets_sent");
+    m_repair_packets_sent_ =
+        &obs->metrics.counter("app.repair_packets_sent");
+    m_repair_requests_ =
+        &obs->metrics.counter("app.repair_requests_received");
+  }
   net_.bind(node_, cfg_.feedback_port,
             [this](const netsim::Datagram& d) { on_feedback(d); });
 }
@@ -130,7 +137,11 @@ void McSource::send_packet(Pacer& p, const coding::CodedPacket& pkt,
     pkt.serialize_into(d.payload);
     if (net_.send(std::move(d))) {
       ++stats_.packets_sent;
-      if (repair) ++stats_.repair_packets_sent;
+      if (m_packets_sent_ != nullptr) m_packets_sent_->inc();
+      if (repair) {
+        ++stats_.repair_packets_sent;
+        if (m_repair_packets_sent_ != nullptr) m_repair_packets_sent_->inc();
+      }
     }
   }
 }
@@ -239,6 +250,7 @@ void McSource::on_feedback(const netsim::Datagram& d) {
   }
 
   ++stats_.repair_requests;
+  if (m_repair_requests_ != nullptr) m_repair_requests_->inc();
   if (pacers_.empty()) return;
 
   if (tree_mode_) {

@@ -133,6 +133,10 @@ class McSource {
   netsim::Time first_gen_sent_at_ = -1;
   std::size_t repair_rr_ = 0;
   SourceStats stats_;
+  // Cached registry handles (null without a hub on the network).
+  obs::Counter* m_packets_sent_ = nullptr;
+  obs::Counter* m_repair_packets_sent_ = nullptr;
+  obs::Counter* m_repair_requests_ = nullptr;
 };
 
 }  // namespace ncfn::app

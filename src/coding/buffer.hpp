@@ -45,6 +45,12 @@ class GenerationBuffer {
   /// buffer's sessions all recycle through here.
   [[nodiscard]] const PacketPool& pool() const { return pool_; }
 
+  /// Attach observability: generation open/close/evict events, the shared
+  /// coding counters (threaded into every decoder) and this buffer's
+  /// occupancy gauge, namespaced by the hosting node. nullptr detaches
+  /// for decoders created from then on.
+  void set_obs(obs::Observability* obs, std::uint32_t node);
+
  private:
   struct Key {
     SessionId session;
@@ -60,6 +66,9 @@ class GenerationBuffer {
 
   CodingParams params_;
   PacketPool pool_;
+  CodingObs obs_handles_;  // decoders hold a pointer to this
+  bool has_obs_ = false;
+  obs::Gauge* m_buffered_ = nullptr;
   std::unordered_map<Key, std::unique_ptr<Decoder>, KeyHash> states_;
   std::unordered_map<SessionId, std::deque<GenerationId>> fifo_;  // per-session arrival order
   std::size_t evictions_ = 0;

@@ -9,6 +9,17 @@
 
 namespace ncfn::coding {
 
+CodingObs CodingObs::bind(obs::Observability& obs, std::uint32_t node) {
+  CodingObs o;
+  o.trace = &obs.trace;
+  o.packets_seen = &obs.metrics.counter("coding.packets_seen");
+  o.packets_innovative = &obs.metrics.counter("coding.packets_innovative");
+  o.generations_decoded = &obs.metrics.counter("coding.generations_decoded");
+  o.recode_ops = &obs.metrics.counter("coding.recode_ops");
+  o.node = node;
+  return o;
+}
+
 Decoder::Decoder(SessionId session, GenerationId generation,
                  const CodingParams& params, PacketPool pool)
     : session_(session),
@@ -22,6 +33,7 @@ bool Decoder::add(const CodedPacket& pkt) {
   assert(pkt.session == session_ && pkt.generation == generation_);
   assert(pkt.coeff_count() == g_ && pkt.payload_size() == block_size_);
   ++seen_;
+  if (obs_ != nullptr) obs_->packets_seen->inc();
   if (complete()) return false;
 
   // Copy the arrival into a pooled working row; all elimination below is
@@ -44,6 +56,13 @@ bool Decoder::add(const CodedPacket& pkt) {
     if (lead != 1) gf::bulk_mul(row.row(), gf::inv(lead));
     pivots_[c] = std::move(row);
     ++rank_;
+    if (obs_ != nullptr) {
+      obs_->packets_innovative->inc();
+      if (rank_ == g_) {
+        obs_->generations_decoded->inc();
+        obs_->trace->gen_decode(obs_->node, session_, generation_, seen_);
+      }
+    }
     return true;
   }
   return false;  // reduced to zero: linearly dependent
@@ -51,6 +70,7 @@ bool Decoder::add(const CodedPacket& pkt) {
 
 CodedPacket Decoder::recode(std::mt19937& rng) const {
   assert(rank_ >= 1);
+  if (obs_ != nullptr) obs_->recode_ops->inc();
   CodedPacket out;
   out.session = session_;
   out.generation = generation_;

@@ -22,8 +22,26 @@
 #include "coding/packet.hpp"
 #include "coding/pool.hpp"
 #include "coding/types.hpp"
+#include "obs/obs.hpp"
 
 namespace ncfn::coding {
+
+/// Pre-resolved observability handles for the coding hot path. One
+/// instance per GenerationBuffer (i.e. per coding function); all its
+/// decoders share it, so add()/recode() never look anything up — each
+/// instrumentation site is one pointer check plus counter increments.
+struct CodingObs {
+  obs::EventTrace* trace = nullptr;
+  obs::Counter* packets_seen = nullptr;
+  obs::Counter* packets_innovative = nullptr;
+  obs::Counter* generations_decoded = nullptr;
+  obs::Counter* recode_ops = nullptr;
+  std::uint32_t node = 0;  // simulator node hosting this coding function
+
+  /// Resolve the shared coding counters in `obs` for node `node`.
+  [[nodiscard]] static CodingObs bind(obs::Observability& obs,
+                                      std::uint32_t node);
+};
 
 class Decoder {
  public:
@@ -56,6 +74,10 @@ class Decoder {
   /// Recover the original blocks. Precondition: complete().
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> recover() const;
 
+  /// Attach observability handles (owned by the enclosing buffer and
+  /// outliving this decoder); nullptr detaches.
+  void set_obs(const CodingObs* obs) { obs_ = obs; }
+
  private:
   SessionId session_;
   GenerationId generation_;
@@ -64,6 +86,7 @@ class Decoder {
   std::size_t rank_ = 0;
   std::size_t seen_ = 0;
   PacketPool pool_;
+  const CodingObs* obs_ = nullptr;
   // pivots_[c]: contiguous [coeffs | payload] row with leading 1 at column c
   std::vector<std::optional<CodedPacket>> pivots_;
 };

@@ -91,6 +91,11 @@ int Controller::vnfs_at(graph::NodeIdx v) const {
 }
 
 void Controller::emit(double now_s, std::uint32_t target, Signal s) {
+  if (obs_ != nullptr) {
+    const char* kind = signal_name(s);
+    obs_->metrics.counter(std::string("ctrl.signals_emitted.") + kind).inc();
+    obs_->trace.signal(target, kind);
+  }
   signals_.push_back(LoggedSignal{now_s, target, std::move(s)});
 }
 

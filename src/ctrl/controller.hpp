@@ -35,6 +35,7 @@
 #include "ctrl/problem.hpp"
 #include "ctrl/signals.hpp"
 #include "graph/topology.hpp"
+#include "obs/obs.hpp"
 
 namespace ncfn::ctrl {
 
@@ -115,6 +116,11 @@ class Controller {
   /// the paper runs "disabling the scaling algorithm").
   void set_scaling_enabled(bool enabled) { scaling_enabled_ = enabled; }
 
+  /// Attach an observability hub (must outlive the controller): every
+  /// emitted NC_* signal is counted per kind under
+  /// "ctrl.signals_emitted.<KIND>" and recorded in the event trace.
+  void set_obs(obs::Observability* obs) { obs_ = obs; }
+
   /// Force a full re-solve of (2) from scratch (initial deployment or
   /// evaluation sweeps).
   void resolve_all(double now_s);
@@ -160,6 +166,7 @@ class Controller {
   std::map<graph::EdgeIdx, PendingDelay> pending_delay_;
   std::map<graph::NodeIdx, ForwardingTable> pushed_tables_;
   std::vector<LoggedSignal> signals_;
+  obs::Observability* obs_ = nullptr;
   bool scaling_enabled_ = true;
   int vm_launches_ = 0;
   int vm_reuses_ = 0;

@@ -67,6 +67,19 @@ std::string serialize(const Signal& s) {
   return out.str();
 }
 
+const char* signal_name(const Signal& s) {
+  return std::visit(
+      [](const auto& sig) {
+        using T = std::decay_t<decltype(sig)>;
+        if constexpr (std::is_same_v<T, NcStart>) return "NC_START";
+        if constexpr (std::is_same_v<T, NcVnfStart>) return "NC_VNF_START";
+        if constexpr (std::is_same_v<T, NcVnfEnd>) return "NC_VNF_END";
+        if constexpr (std::is_same_v<T, NcForwardTab>) return "NC_FORWARD_TAB";
+        if constexpr (std::is_same_v<T, NcSettings>) return "NC_SETTINGS";
+      },
+      s);
+}
+
 std::optional<Signal> parse_signal(const std::string& text) {
   std::istringstream in(text);
   std::string kind;

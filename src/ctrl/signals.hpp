@@ -70,4 +70,8 @@ using Signal =
 [[nodiscard]] std::string serialize(const Signal& s);
 [[nodiscard]] std::optional<Signal> parse_signal(const std::string& text);
 
+/// Stable wire name of a signal's type ("NC_START", "NC_VNF_START", ...);
+/// used as the metric / trace label for control-plane observability.
+[[nodiscard]] const char* signal_name(const Signal& s);
+
 }  // namespace ncfn::ctrl

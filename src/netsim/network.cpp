@@ -14,17 +14,47 @@ Link::Link(Network& net, NodeId from, NodeId to, const LinkConfig& cfg)
       jitter_(cfg.jitter),
       queue_limit_(cfg.queue_packets) {}
 
+void Link::bind_obs(obs::Observability* obs) {
+  if (obs == nullptr) {
+    trace_ = nullptr;
+    m_enqueued_ = m_delivered_ = m_bytes_ = m_drop_loss_ = m_drop_queue_ =
+        nullptr;
+    m_queue_depth_ = m_busy_s_ = nullptr;
+    return;
+  }
+  trace_ = &obs->trace;
+  const std::string prefix = "netsim.link." + std::to_string(from_) + "-" +
+                             std::to_string(to_) + ".";
+  m_enqueued_ = &obs->metrics.counter(prefix + "enqueued");
+  m_delivered_ = &obs->metrics.counter(prefix + "delivered");
+  m_bytes_ = &obs->metrics.counter(prefix + "bytes_delivered");
+  m_drop_loss_ = &obs->metrics.counter(prefix + "dropped_loss");
+  m_drop_queue_ = &obs->metrics.counter(prefix + "dropped_queue");
+  m_queue_depth_ = &obs->metrics.gauge(prefix + "queue_depth");
+  // Cumulative serializer busy time: utilization over [0, T] is
+  // busy_s / T without any per-delivery division on the hot path.
+  m_busy_s_ = &obs->metrics.gauge(prefix + "busy_s");
+}
+
 void Link::transmit(Datagram d) {
   ++stats_.offered;
   Simulator& sim = net_.sim();
 
   if (loss_ && loss_->drop(net_.rng())) {
     ++stats_.dropped_loss;
+    if (m_drop_loss_ != nullptr) m_drop_loss_->inc();
+    if (trace_ != nullptr) {
+      trace_->packet_drop(from_, to_, d.wire_bytes(), "loss");
+    }
     net_.recycle_buffer(std::move(d.payload));
     return;
   }
   if (queued_ >= queue_limit_) {
     ++stats_.dropped_queue;
+    if (m_drop_queue_ != nullptr) m_drop_queue_->inc();
+    if (trace_ != nullptr) {
+      trace_->packet_drop(from_, to_, d.wire_bytes(), "queue");
+    }
     net_.recycle_buffer(std::move(d.payload));
     return;
   }
@@ -34,6 +64,14 @@ void Link::transmit(Datagram d) {
   const Time tx = bits / capacity_bps_;
   busy_until_ = start + tx;
   ++queued_;
+  if (m_enqueued_ != nullptr) {
+    m_enqueued_->inc();
+    m_queue_depth_->set(static_cast<double>(queued_));
+    m_busy_s_->add(tx);
+  }
+  if (trace_ != nullptr) {
+    trace_->packet_enqueue(from_, to_, d.wire_bytes(), queued_);
+  }
 
   Time deliver_at = busy_until_ + prop_delay_;
   if (jitter_ > 0) {
@@ -43,6 +81,14 @@ void Link::transmit(Datagram d) {
     --queued_;
     ++stats_.delivered;
     stats_.bytes_delivered += pkt.wire_bytes();
+    if (m_delivered_ != nullptr) {
+      m_delivered_->inc();
+      m_bytes_->inc(pkt.wire_bytes());
+      m_queue_depth_->set(static_cast<double>(queued_));
+    }
+    if (trace_ != nullptr) {
+      trace_->packet_deliver(from_, to_, pkt.wire_bytes(), queued_);
+    }
     net_.deliver(pkt);
     // Handlers see the datagram by const reference (and copy what they
     // keep), so the payload storage can go back to the pool.
@@ -57,9 +103,15 @@ NodeId Network::add_node(std::string name) {
 
 Link& Network::add_link(NodeId from, NodeId to, const LinkConfig& cfg) {
   auto link = std::make_unique<Link>(*this, from, to, cfg);
+  link->bind_obs(obs_);
   auto& slot = links_[{from, to}];
   slot = std::move(link);
   return *slot;
+}
+
+void Network::set_obs(obs::Observability* obs) {
+  obs_ = obs;
+  for (auto& [key, link] : links_) link->bind_obs(obs);
 }
 
 void Network::add_duplex_link(NodeId a, NodeId b, const LinkConfig& cfg) {

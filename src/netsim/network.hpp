@@ -20,6 +20,7 @@
 
 #include "netsim/loss.hpp"
 #include "netsim/sim.hpp"
+#include "obs/obs.hpp"
 
 namespace ncfn::netsim {
 
@@ -87,6 +88,10 @@ class Link {
   /// Queue a datagram for transmission. Applies loss model and tail drop.
   void transmit(Datagram d);
 
+  /// (Re)bind observability handles; nullptr detaches. Called by Network
+  /// on creation and whenever the hub is attached.
+  void bind_obs(obs::Observability* obs);
+
  private:
   Network& net_;
   NodeId from_, to_;
@@ -98,6 +103,15 @@ class Link {
   Time busy_until_ = 0;  // when the serializer frees up
   std::size_t queued_ = 0;  // packets waiting for the serializer
   LinkStats stats_;
+  // Observability handles (all null, or all live — bound together).
+  obs::EventTrace* trace_ = nullptr;
+  obs::Counter* m_enqueued_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_drop_loss_ = nullptr;
+  obs::Counter* m_drop_queue_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_busy_s_ = nullptr;  // cumulative serialization time
 };
 
 /// Handler invoked on datagram arrival at a bound (node, port).
@@ -109,6 +123,13 @@ class Network {
 
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] std::mt19937& rng() { return rng_; }
+
+  /// Attach (or detach, with nullptr) the observability hub. Existing and
+  /// future links register their per-link metrics; components built on
+  /// this network (VNFs, endpoints) pick the hub up from here. The hub
+  /// must outlive the network.
+  void set_obs(obs::Observability* obs);
+  [[nodiscard]] obs::Observability* obs() const { return obs_; }
 
   /// Add a node; returns its id. Names are for diagnostics.
   NodeId add_node(std::string name);
@@ -164,6 +185,7 @@ class Network {
 
   Simulator sim_;
   std::mt19937 rng_;
+  obs::Observability* obs_ = nullptr;
   std::vector<std::string> node_names_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
   std::map<std::pair<NodeId, Port>, DatagramHandler> handlers_;

@@ -1,0 +1,84 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace ncfn::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  // %.12g is deterministic for identical doubles and keeps snapshots
+  // readable; metrics are measurements, not bit-exact payloads.
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_key(std::string& out, const std::string& name, bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += name;  // metric names are plain identifiers; no escaping needed
+  out += "\":";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    append_key(out, name, first);
+    append_u64(out, c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    append_key(out, name, first);
+    append_double(out, g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    append_key(out, name, first);
+    out += "{\"count\":";
+    append_u64(out, h.count());
+    out += ",\"sum\":";
+    append_double(out, h.sum());
+    out += ",\"min\":";
+    append_double(out, h.min());
+    out += ",\"max\":";
+    append_double(out, h.max());
+    out += ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i > 0) out += ',';
+      append_double(out, h.bounds()[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+      if (i > 0) out += ',';
+      append_u64(out, h.buckets()[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ncfn::obs

@@ -1,0 +1,17 @@
+// Observability hub: one metrics registry plus one event trace, owned by
+// whoever owns the run (app::SimNet for simulated sessions, a test, or a
+// tool's main()). Layers receive a raw pointer — nullptr means "not
+// observed" and every instrumentation site degrades to a null check.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ncfn::obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  EventTrace trace;
+};
+
+}  // namespace ncfn::obs

@@ -1,0 +1,124 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace ncfn::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+void EventTrace::stamp(const char* ev) {
+  char buf[48];
+  // Fixed-width nanosecond-resolution timestamps: deterministic for
+  // identical doubles and plenty for the simulator's time scales.
+  std::snprintf(buf, sizeof(buf), "{\"t\":%.9f,\"ev\":\"%s\"", now(), ev);
+  data_ += buf;
+}
+
+void EventTrace::finish() {
+  data_ += "}\n";
+  ++records_;
+}
+
+void EventTrace::emit_link(const char* ev, std::uint32_t from,
+                           std::uint32_t to, std::size_t bytes,
+                           std::size_t queue_depth) {
+  stamp(ev);
+  data_ += ",\"from\":";
+  append_u64(data_, from);
+  data_ += ",\"to\":";
+  append_u64(data_, to);
+  data_ += ",\"bytes\":";
+  append_u64(data_, bytes);
+  data_ += ",\"q\":";
+  append_u64(data_, queue_depth);
+  finish();
+}
+
+void EventTrace::emit_drop(std::uint32_t from, std::uint32_t to,
+                           std::size_t bytes, const char* reason) {
+  stamp("pkt_drop");
+  data_ += ",\"from\":";
+  append_u64(data_, from);
+  data_ += ",\"to\":";
+  append_u64(data_, to);
+  data_ += ",\"bytes\":";
+  append_u64(data_, bytes);
+  data_ += ",\"reason\":\"";
+  data_ += reason;
+  data_ += '"';
+  finish();
+}
+
+void EventTrace::emit_gen(const char* ev, std::uint32_t node,
+                          std::uint32_t session, std::uint32_t generation,
+                          std::size_t aux) {
+  stamp(ev);
+  data_ += ",\"node\":";
+  append_u64(data_, node);
+  data_ += ",\"session\":";
+  append_u64(data_, session);
+  data_ += ",\"gen\":";
+  append_u64(data_, generation);
+  data_ += ",\"n\":";
+  append_u64(data_, aux);
+  finish();
+}
+
+void EventTrace::emit_gen_reason(const char* ev, std::uint32_t node,
+                                 std::uint32_t session,
+                                 std::uint32_t generation,
+                                 const char* reason) {
+  stamp(ev);
+  data_ += ",\"node\":";
+  append_u64(data_, node);
+  data_ += ",\"session\":";
+  append_u64(data_, session);
+  data_ += ",\"gen\":";
+  append_u64(data_, generation);
+  data_ += ",\"reason\":\"";
+  data_ += reason;
+  data_ += '"';
+  finish();
+}
+
+void EventTrace::emit_signal(std::uint32_t node, const char* kind) {
+  stamp("signal");
+  data_ += ",\"node\":";
+  append_u64(data_, node);
+  data_ += ",\"kind\":\"";
+  data_ += kind;
+  data_ += '"';
+  finish();
+}
+
+void EventTrace::emit_fwdtab(std::uint32_t node, std::size_t changed,
+                             double cost_s) {
+  stamp("fwdtab_swap");
+  data_ += ",\"node\":";
+  append_u64(data_, node);
+  data_ += ",\"changed\":";
+  append_u64(data_, changed);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ",\"cost\":%.9f", cost_s);
+  data_ += buf;
+  finish();
+}
+
+bool EventTrace::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(data_.data(), 1, data_.size(), f) == data_.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ncfn::obs

@@ -8,6 +8,18 @@ namespace ncfn::vnf {
 CodingVnf::CodingVnf(netsim::Network& net, netsim::NodeId node, VnfConfig cfg)
     : net_(net), node_(node), cfg_(cfg), rng_(cfg.seed), buffer_(cfg.params) {
   lanes_.resize(1);
+  if (obs::Observability* obs = net_.obs()) {
+    buffer_.set_obs(obs, node_);
+    trace_ = &obs->trace;
+    const std::string p = "vnf.node." + std::to_string(node_) + ".";
+    m_received_ = &obs->metrics.counter(p + "received");
+    m_innovative_ = &obs->metrics.counter(p + "innovative");
+    m_emitted_ = &obs->metrics.counter(p + "emitted");
+    m_recoded_ = &obs->metrics.counter(p + "recoded");
+    m_proc_dropped_ = &obs->metrics.counter(p + "proc_dropped");
+    m_decoded_ = &obs->metrics.counter(p + "decoded_generations");
+    m_lane_backlog_ = &obs->metrics.gauge(p + "lane_backlog");
+  }
 }
 
 CodingVnf::~CodingVnf() {
@@ -91,14 +103,23 @@ void CodingVnf::on_datagram(const netsim::Datagram& d) {
   Lane& lane = lanes_[lane_of(pkt->session, pkt->generation)];
   if (lane.queued >= cfg_.proc_queue_limit) {
     ++sit->second.stats.proc_dropped;
+    if (m_proc_dropped_ != nullptr) m_proc_dropped_->inc();
     return;
   }
   ++lane.queued;
+  ++queued_total_;
+  if (m_lane_backlog_ != nullptr) {
+    m_lane_backlog_->set(static_cast<double>(queued_total_));
+  }
   netsim::Simulator& sim = net_.sim();
   const netsim::Time start = std::max(sim.now(), lane.busy_until);
   lane.busy_until = start + service_time();
   sim.schedule_at(lane.busy_until, [this, &lane, p = std::move(*pkt)]() mutable {
     --lane.queued;
+    --queued_total_;
+    if (m_lane_backlog_ != nullptr) {
+      m_lane_backlog_->set(static_cast<double>(queued_total_));
+    }
     if (paused_) {
       paused_backlog_.push_back(std::move(p));
     } else {
@@ -112,12 +133,16 @@ void CodingVnf::process(coding::CodedPacket pkt) {
   if (sit == sessions_.end()) return;
   SessionState& st = sit->second;
   ++st.stats.received;
+  if (m_received_ != nullptr) m_received_->inc();
 
   coding::Decoder& dec = buffer_.state(pkt.session, pkt.generation);
   const bool was_complete = dec.complete();
   const bool first_of_generation = dec.packets_seen() == 0;
   const bool innovative = dec.add(pkt);
-  if (innovative) ++st.stats.innovative;
+  if (innovative) {
+    ++st.stats.innovative;
+    if (m_innovative_ != nullptr) m_innovative_->inc();
+  }
 #ifdef NCFN_DEBUG_GEN0
   if (pkt.generation == 0) {
     printf("[%.6f] node=%u gen0 arrival rank=%zu innov=%d role=%d\n",
@@ -131,6 +156,7 @@ void CodingVnf::process(coding::CodedPacket pkt) {
     case ctrl::VnfRole::kDecode:
       if (!was_complete && dec.complete()) {
         ++st.stats.decoded_generations;
+        if (m_decoded_ != nullptr) m_decoded_->inc();
         if (sink_) sink_(pkt.session, pkt.generation, dec.recover());
       }
       break;
@@ -151,7 +177,10 @@ void CodingVnf::process(coding::CodedPacket pkt) {
           d.dst_port = hop.port;
           d.payload = net_.take_buffer();
           pkt.serialize_into(d.payload);
-          if (net_.send(std::move(d))) ++st.stats.emitted;
+          if (net_.send(std::move(d))) {
+            ++st.stats.emitted;
+            if (m_emitted_ != nullptr) m_emitted_->inc();
+          }
         }
       } else {
         emit(st, pkt, dec, first_of_generation);
@@ -198,6 +227,7 @@ void CodingVnf::emit(SessionState& st, const coding::CodedPacket& arrival,
         continue;
       }
       coding::CodedPacket out;
+      bool recoded = false;
       if (st.role == ctrl::VnfRole::kForward ||
           (first_of_generation && dec.rank() <= 1)) {
         // Routing-only relays copy packets through; a recoding relay also
@@ -206,6 +236,7 @@ void CodingVnf::emit(SessionState& st, const coding::CodedPacket& arrival,
         out = arrival;
       } else {
         out = dec.recode(rng_);
+        recoded = true;
       }
       netsim::Datagram d;
       d.src = node_;
@@ -213,7 +244,17 @@ void CodingVnf::emit(SessionState& st, const coding::CodedPacket& arrival,
       d.dst_port = st.hops[h].hop.port;
       d.payload = net_.take_buffer();
       out.serialize_into(d.payload);
-      if (net_.send(std::move(d))) ++st.stats.emitted;
+      if (net_.send(std::move(d))) {
+        ++st.stats.emitted;
+        if (m_emitted_ != nullptr) {
+          m_emitted_->inc();
+          if (recoded) m_recoded_->inc();
+        }
+        if (recoded && trace_ != nullptr) {
+          trace_->vnf_recode(node_, arrival.session, arrival.generation,
+                             dec.rank());
+        }
+      }
     }
   }
   // Bound the ledger: forward-role entries have no flush timer, so evict
@@ -229,7 +270,16 @@ void CodingVnf::send_recoded(SessionState& st, coding::Decoder& dec,
   d.dst_port = st.hops[hop].hop.port;
   d.payload = net_.take_buffer();
   dec.recode(rng_).serialize_into(d.payload);
-  if (net_.send(std::move(d))) ++st.stats.emitted;
+  if (net_.send(std::move(d))) {
+    ++st.stats.emitted;
+    if (m_emitted_ != nullptr) {
+      m_emitted_->inc();
+      m_recoded_->inc();
+    }
+    if (trace_ != nullptr) {
+      trace_->vnf_recode(node_, dec.session(), dec.generation(), dec.rank());
+    }
+  }
 }
 
 void CodingVnf::flush_pending(coding::SessionId session,

@@ -198,6 +198,17 @@ class CodingVnf {
   VnfConfig cfg_;
   std::mt19937 rng_;
   coding::GenerationBuffer buffer_;
+  // Per-function observability handles, bound from net_.obs() at
+  // construction (all null when the network has no hub attached).
+  obs::EventTrace* trace_ = nullptr;
+  obs::Counter* m_received_ = nullptr;
+  obs::Counter* m_innovative_ = nullptr;
+  obs::Counter* m_emitted_ = nullptr;
+  obs::Counter* m_recoded_ = nullptr;
+  obs::Counter* m_proc_dropped_ = nullptr;
+  obs::Counter* m_decoded_ = nullptr;
+  obs::Gauge* m_lane_backlog_ = nullptr;  // packets queued across all lanes
+  std::size_t queued_total_ = 0;
   std::map<coding::SessionId, SessionState> sessions_;
   std::vector<Lane> lanes_;
   bool paused_ = false;

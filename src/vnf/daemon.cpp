@@ -6,6 +6,17 @@ VnfDaemon::VnfDaemon(netsim::Network& net, netsim::NodeId node,
                      DaemonConfig cfg)
     : net_(net), node_(node), cfg_(cfg) {
   vnf_ = std::make_unique<CodingVnf>(net_, node_, cfg_.vnf);
+  if ((obs_ = net_.obs()) != nullptr) {
+    // Bucket bounds span Table III's range: per-entry cost ~31 ms, full
+    // 10-entry table swap ~311 ms.
+    static constexpr double kBounds[] = {0.025, 0.05, 0.1, 0.2, 0.4};
+    m_table_update_s_ = &obs_->metrics.histogram("ctrl.table_update_s",
+                                                 kBounds);
+    m_table_updates_ = &obs_->metrics.counter("ctrl.table_updates");
+    m_vnf_starts_ = &obs_->metrics.counter("vnf.starts");
+    m_shutdowns_ = &obs_->metrics.counter("vnf.shutdowns");
+    m_shutdowns_cancelled_ = &obs_->metrics.counter("vnf.shutdowns_cancelled");
+  }
   net_.bind(node_, cfg_.control_port,
             [this](const netsim::Datagram& d) { on_control_datagram(d); });
 }
@@ -24,6 +35,11 @@ void VnfDaemon::on_control_datagram(const netsim::Datagram& d) {
 }
 
 void VnfDaemon::handle_signal(const ctrl::Signal& s) {
+  if (obs_ != nullptr) {
+    const char* kind = ctrl::signal_name(s);
+    obs_->metrics.counter(std::string("ctrl.signals_received.") + kind).inc();
+    obs_->trace.signal(node_, kind);
+  }
   std::visit(
       [this](const auto& sig) {
         using T = std::decay_t<decltype(sig)>;
@@ -34,13 +50,23 @@ void VnfDaemon::handle_signal(const ctrl::Signal& s) {
         } else if constexpr (std::is_same_v<T, ctrl::NcVnfStart>) {
           // Reuse an existing (draining) VM if possible, else "launch".
           // Either way any pending shutdown is cancelled.
-          if (shutdown_pending_) ++stats_.shutdowns_cancelled;
+          if (shutdown_pending_) {
+            ++stats_.shutdowns_cancelled;
+            if (m_shutdowns_cancelled_ != nullptr) {
+              m_shutdowns_cancelled_->inc();
+            }
+          }
           shutdown_pending_ = false;
           ++shutdown_epoch_;
           running_ = true;
-          // Coding function becomes ready after the start latency.
-          net_.sim().schedule(cfg_.vnf_start_s,
-                              [this] { ++stats_.vnf_starts; });
+          // Coding function becomes ready after the start latency; the
+          // VNF_READY trace record carries the Sec. V.C.5 launch
+          // timestamp.
+          net_.sim().schedule(cfg_.vnf_start_s, [this] {
+            ++stats_.vnf_starts;
+            if (m_vnf_starts_ != nullptr) m_vnf_starts_->inc();
+            if (obs_ != nullptr) obs_->trace.signal(node_, "VNF_READY");
+          });
           if (sig.count > vnf_->lanes()) vnf_->set_lanes(sig.count);
         } else if constexpr (std::is_same_v<T, ctrl::NcVnfEnd>) {
           const std::uint64_t epoch = ++shutdown_epoch_;
@@ -50,6 +76,8 @@ void VnfDaemon::handle_signal(const ctrl::Signal& s) {
               running_ = false;
               shutdown_pending_ = false;
               ++stats_.shutdowns;
+              if (m_shutdowns_ != nullptr) m_shutdowns_->inc();
+              if (obs_ != nullptr) obs_->trace.signal(node_, "VNF_SHUTDOWN");
             }
           });
         } else if constexpr (std::is_same_v<T, ctrl::NcForwardTab>) {
@@ -87,6 +115,11 @@ void VnfDaemon::apply_table(const ctrl::NcForwardTab& t) {
   vnf_->pause();
   stats_.last_table_update_cost_s = cost;
   ++stats_.table_updates;
+  if (obs_ != nullptr) {
+    m_table_updates_->inc();
+    m_table_update_s_->record(cost);
+    obs_->trace.fwdtab_swap(node_, changed, cost);
+  }
   table_ = t.table;
   net_.sim().schedule(cost, [this, tab = t.table] {
     for (const auto& [session, hops] : tab.entries()) {

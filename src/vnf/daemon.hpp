@@ -83,6 +83,13 @@ class VnfDaemon {
   std::unique_ptr<CodingVnf> vnf_;
   ctrl::ForwardingTable table_;
   DaemonStats stats_;
+  // Control-plane observability (null without a hub on the network).
+  obs::Observability* obs_ = nullptr;
+  obs::Histogram* m_table_update_s_ = nullptr;
+  obs::Counter* m_table_updates_ = nullptr;
+  obs::Counter* m_vnf_starts_ = nullptr;
+  obs::Counter* m_shutdowns_ = nullptr;
+  obs::Counter* m_shutdowns_cancelled_ = nullptr;
   bool running_ = true;
   std::uint64_t shutdown_epoch_ = 0;  // bump to cancel pending shutdowns
   bool shutdown_pending_ = false;

@@ -4,12 +4,17 @@
 //
 //   ncfn-run <scenario-file> [--duration <s>] [--redundancy <0|1|2>]
 //            [--loss <frac>] [--seed <n>]
+//            [--metrics-out <file>] [--trace-out <file>]
 //
 // --loss applies i.i.d. loss to every DC-DC link. Prints per-receiver
-// goodput and integrity results.
+// goodput and integrity results. --metrics-out dumps the metrics registry
+// as JSON after the run; --trace-out enables the deterministic event
+// trace and writes it as JSONL — identical (scenario, seed, flags) runs
+// produce byte-identical files.
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "app/config.hpp"
@@ -24,13 +29,15 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <scenario-file> [--duration <s>] "
-                 "[--redundancy <n>] [--loss <frac>] [--seed <n>]\n",
+                 "[--redundancy <n>] [--loss <frac>] [--seed <n>] "
+                 "[--metrics-out <file>] [--trace-out <file>]\n",
                  argv[0]);
     return 2;
   }
   double duration = 5.0, loss = 0.0;
   int redundancy = 0;
   std::uint32_t seed = 7;
+  std::string metrics_out, trace_out;
   for (int i = 2; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--duration") == 0) duration = std::atof(argv[i + 1]);
     if (std::strcmp(argv[i], "--redundancy") == 0) redundancy = std::atoi(argv[i + 1]);
@@ -38,6 +45,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--seed") == 0) {
       seed = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
     }
+    if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
+    if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
   }
 
   app::ParseError err;
@@ -57,6 +66,7 @@ int main(int argc, char** argv) {
   }
 
   app::SimNet sim(scenario->topo);
+  if (!trace_out.empty()) sim.trace().enable();
   if (loss > 0) {
     std::uint32_t lseed = seed;
     for (int e = 0; e < scenario->topo.edge_count(); ++e) {
@@ -104,6 +114,14 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(st.repair_requests_sent),
                   static_cast<unsigned long long>(st.verify_failures));
     }
+  }
+  if (!metrics_out.empty() && !sim.metrics().write_json(metrics_out)) {
+    std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+    return 1;
+  }
+  if (!trace_out.empty() && !sim.trace().write(trace_out)) {
+    std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+    return 1;
   }
   return 0;
 }
