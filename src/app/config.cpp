@@ -141,6 +141,75 @@ struct LineParser {
     return true;
   }
 
+  bool handle_fail(std::istringstream& in) {
+    std::string from, to;
+    if (!(in >> from >> to)) {
+      return fail("fail needs: fail <from> <to> at=<s> [for=<s>]");
+    }
+    const auto f = lookup(from);
+    const auto t = lookup(to);
+    if (!f) return fail("unknown node '" + from + "'");
+    if (!t) return fail("unknown node '" + to + "'");
+    if (scenario.topo.find_edge(*f, *t) < 0) {
+      return fail("no edge " + from + " -> " + to);
+    }
+    LinkFailure lf;
+    lf.from = *f;
+    lf.to = *t;
+    bool have_at = false;
+    std::string tok;
+    while (in >> tok) {
+      std::string key;
+      double v = 0;
+      if (!parse_option(tok, key, v)) return fail("bad option '" + tok + "'");
+      if (key == "at") {
+        lf.at_s = v;
+        have_at = true;
+      } else if (key == "for") {
+        lf.for_s = v;
+      } else {
+        return fail("unknown fail option '" + key + "'");
+      }
+    }
+    if (!have_at || lf.at_s < 0 || lf.for_s < 0) {
+      return fail("fail needs at=<s> >= 0 (and for=<s> >= 0)");
+    }
+    scenario.failures.push_back(lf);
+    return true;
+  }
+
+  bool handle_crash(std::istringstream& in) {
+    std::string node;
+    if (!(in >> node)) return fail("crash needs: crash <node> at=<s> [for=<s>]");
+    const auto n = lookup(node);
+    if (!n) return fail("unknown node '" + node + "'");
+    if (scenario.topo.node(*n).kind != graph::NodeKind::kDataCenter) {
+      return fail("crash target '" + node + "' is not a data center");
+    }
+    VnfCrash c;
+    c.node = *n;
+    bool have_at = false;
+    std::string tok;
+    while (in >> tok) {
+      std::string key;
+      double v = 0;
+      if (!parse_option(tok, key, v)) return fail("bad option '" + tok + "'");
+      if (key == "at") {
+        c.at_s = v;
+        have_at = true;
+      } else if (key == "for") {
+        c.for_s = v;
+      } else {
+        return fail("unknown crash option '" + key + "'");
+      }
+    }
+    if (!have_at || c.at_s < 0 || c.for_s < 0) {
+      return fail("crash needs at=<s> >= 0 (and for=<s> >= 0)");
+    }
+    scenario.crashes.push_back(c);
+    return true;
+  }
+
   bool handle(const std::string& line) {
     std::istringstream in(line);
     std::string keyword;
@@ -150,6 +219,8 @@ struct LineParser {
     if (keyword == "edge") return handle_edge(in, /*duplex=*/false);
     if (keyword == "duplex") return handle_edge(in, /*duplex=*/true);
     if (keyword == "session") return handle_session(in);
+    if (keyword == "fail") return handle_fail(in);
+    if (keyword == "crash") return handle_crash(in);
     if (keyword == "alpha") {
       std::string v;
       if (!(in >> v) || !parse_double(v, scenario.alpha)) {

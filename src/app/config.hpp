@@ -11,6 +11,10 @@
 //   edge O1 O2 15                           # capacity omitted = unlimited
 //   session 1 V1 -> O2 C2 lmax=150 maxrate=200
 //   session 2 V1 -> C2 rate=25              # fixed-rate (live stream)
+//   fail O1 O2 at=2 for=1.5                 # link outage at t=2s for 1.5s
+//   fail O1 O2 at=5                         # ... at t=5s, stays down
+//   crash O1 at=3 for=0.5                   # coding-process crash at t=3s,
+//                                           # cold restart 0.5s later
 //
 // Node references resolve by name; sessions may appear before or after
 // the nodes they reference are declared only if declared-before-use —
@@ -27,10 +31,27 @@
 
 namespace ncfn::app {
 
+/// A scheduled link outage (`fail <from> <to> at=<s> [for=<s>]`).
+struct LinkFailure {
+  graph::NodeIdx from = 0;
+  graph::NodeIdx to = 0;
+  double at_s = 0;
+  double for_s = 0;  // 0 = the link stays down
+};
+
+/// A scheduled coding-process crash (`crash <node> at=<s> [for=<s>]`).
+struct VnfCrash {
+  graph::NodeIdx node = 0;
+  double at_s = 0;
+  double for_s = 0;  // 0 = the default cold-restart latency
+};
+
 struct Scenario {
   graph::Topology topo;
   std::map<std::string, graph::NodeIdx> nodes;  // name -> index
   std::vector<ctrl::SessionSpec> sessions;
+  std::vector<LinkFailure> failures;
+  std::vector<VnfCrash> crashes;
   double alpha = 20.0;
 
   [[nodiscard]] std::string node_name(graph::NodeIdx idx) const;

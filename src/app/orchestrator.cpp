@@ -1,5 +1,6 @@
 #include "app/orchestrator.hpp"
 
+#include <cstdlib>
 #include <string>
 
 #include "ctrl/signals.hpp"
@@ -36,7 +37,30 @@ Orchestrator::Orchestrator(SimNet& sim, Config cfg)
     }
     daemons_.emplace(dc, std::move(daemon));
   }
+  if (cfg_.heartbeat_interval_s > 0) {
+    net.bind(ctl_node_, cfg_.heartbeat_port,
+             [this](const netsim::Datagram& d) { on_heartbeat(d); });
+    hb_bound_ = true;
+    for (auto& [dc, daemon] : daemons_) {
+      daemon->start_heartbeats(ctl_node_, cfg_.heartbeat_port,
+                               cfg_.heartbeat_interval_s);
+    }
+  }
   if (cfg_.tick_interval_s > 0) schedule_tick();
+}
+
+Orchestrator::~Orchestrator() {
+  if (hb_bound_) sim_.net().unbind(ctl_node_, cfg_.heartbeat_port);
+}
+
+void Orchestrator::on_heartbeat(const netsim::Datagram& d) {
+  const std::string text(d.payload.begin(), d.payload.end());
+  if (text.rfind("HB ", 0) != 0) return;
+  char* end = nullptr;
+  const unsigned long node = std::strtoul(text.c_str() + 3, &end, 10);
+  if (end == text.c_str() + 3) return;
+  ctl_.heartbeat(static_cast<graph::NodeIdx>(node), sim_.net().sim().now());
+  flush_signals();  // a heartbeat from a down DC revives it (re-solve)
 }
 
 void Orchestrator::schedule_tick() {
@@ -105,6 +129,21 @@ void Orchestrator::report_vm_bandwidth(graph::NodeIdx dc, double bin_bps,
                                        double bout_bps) {
   ctl_.report_bandwidth(dc, bin_bps, bout_bps, sim_.net().sim().now());
   flush_signals();
+}
+
+void Orchestrator::notify_link_state(graph::EdgeIdx e, bool up) {
+  ctl_.report_link_state(e, up, sim_.net().sim().now());
+  flush_signals();
+}
+
+void Orchestrator::notify_node_state(graph::NodeIdx dc, bool up) {
+  ctl_.report_node_state(dc, up, sim_.net().sim().now());
+  flush_signals();
+}
+
+void Orchestrator::crash_vnf(graph::NodeIdx dc,
+                             std::optional<double> restart_after_s) {
+  daemons_.at(dc)->crash(restart_after_s);
 }
 
 }  // namespace ncfn::app

@@ -34,12 +34,22 @@ class Orchestrator {
     double probe_interval_s = 600.0;
     /// Period of the controller's housekeeping tick (0 = manual).
     double tick_interval_s = 600.0;
+    /// Period of the daemons' liveness beacons (0 = no heartbeats). The
+    /// controller listens on heartbeat_port; pair with a nonzero
+    /// controller.heartbeat_timeout_s so stale DCs are declared down at
+    /// tick() time.
+    double heartbeat_interval_s = 0.0;
+    netsim::Port heartbeat_port = 101;
   };
 
   /// Builds daemons on every data center of `sim` and a controller node
   /// connected to all of them. The topology must be the one `sim` was
   /// built from.
   Orchestrator(SimNet& sim, Config cfg);
+  ~Orchestrator();
+
+  Orchestrator(const Orchestrator&) = delete;
+  Orchestrator& operator=(const Orchestrator&) = delete;
 
   // ---- Session lifecycle (timestamps taken from the simulated clock) ----
   bool add_session(const ctrl::SessionSpec& spec);
@@ -49,6 +59,19 @@ class Orchestrator {
   /// Per-VM bandwidth measurement for a DC (the iperf3 report).
   void report_vm_bandwidth(graph::NodeIdx dc, double bin_bps,
                            double bout_bps);
+
+  // ---- Failure injection / notification ----
+  /// Explicit topology-change event: an external monitor saw edge e fail
+  /// or recover. Triggers the controller's failure re-solve and ships the
+  /// resulting signals. (The alternative detection path — heartbeat
+  /// timeout — needs no call here.)
+  void notify_link_state(graph::EdgeIdx e, bool up);
+  /// Machine-level failure/recovery of a whole data center.
+  void notify_node_state(graph::NodeIdx dc, bool up);
+  /// Kill the coding process at a DC mid-run; it restarts cold
+  /// `restart_after_s` later (default: the coding-function start latency).
+  void crash_vnf(graph::NodeIdx dc,
+                 std::optional<double> restart_after_s = std::nullopt);
 
   [[nodiscard]] ctrl::Controller& controller() { return ctl_; }
   [[nodiscard]] vnf::VnfDaemon& daemon(graph::NodeIdx dc) {
@@ -66,6 +89,7 @@ class Orchestrator {
   void schedule_tick();
   void on_probe_report(graph::NodeIdx from_dc, netsim::NodeId peer,
                        std::optional<netsim::Time> rtt);
+  void on_heartbeat(const netsim::Datagram& d);
 
   SimNet& sim_;
   Config cfg_;
@@ -74,6 +98,7 @@ class Orchestrator {
   std::map<graph::NodeIdx, std::unique_ptr<vnf::VnfDaemon>> daemons_;
   std::size_t flushed_ = 0;    // signal-log entries already shipped
   std::size_t dispatched_ = 0;
+  bool hb_bound_ = false;
 };
 
 }  // namespace ncfn::app

@@ -13,6 +13,12 @@ McReceiver::McReceiver(netsim::Network& net, netsim::NodeId node,
     m_payload_bytes_ = &obs->metrics.counter("app.payload_bytes");
     m_repair_requests_ = &obs->metrics.counter("app.repair_requests_sent");
     m_verify_failures_ = &obs->metrics.counter("app.verify_failures");
+    // Recovery latency spans sub-second re-routes up to repair-loop-bound
+    // multi-second rebuilds.
+    static constexpr double kRecoveryBounds[] = {0.1, 0.25, 0.5, 1.0,
+                                                 2.5,  5.0, 10.0};
+    m_recovery_s_ = &obs->metrics.histogram("app.recovery_time_s",
+                                            kRecoveryBounds);
   }
   cfg_.vnf.params = cfg_.params;
   vnf_ = std::make_unique<vnf::CodingVnf>(net_, node_, cfg_.vnf);
@@ -106,7 +112,15 @@ void McReceiver::arm_repair_timer(coding::GenerationId gen) {
     fb.session = cfg_.session;
     fb.generation = gen;
     fb.count = static_cast<std::uint16_t>(g - rank);
-    fb.block_mask = ~have_mask & ((g >= 64) ? ~0ull : ((1ull << g) - 1));
+    // The 8-byte wire mask can name at most 64 blocks. For larger
+    // generations it cannot describe what is missing (the pivot scan
+    // above stops at bit 63), so send 0 — the source then answers with
+    // coded repairs, which close a rank gap at any generation size.
+    // Truncating instead (the old behaviour) made the Non-NC baseline
+    // retransmit only blocks 0..63 and livelock on g > 64.
+    fb.block_mask =
+        g > 64 ? 0
+               : (~have_mask & ((g == 64) ? ~0ull : ((1ull << g) - 1)));
     fb.receiver_node = node_;
     netsim::Datagram d;
     d.src = node_;
@@ -121,11 +135,19 @@ void McReceiver::arm_repair_timer(coding::GenerationId gen) {
   });
 }
 
+void McReceiver::mark_disruption() { disruption_at_ = net_.sim().now(); }
+
 void McReceiver::on_generation_decoded(
     coding::GenerationId gen,
     const std::vector<std::vector<std::uint8_t>>& blocks) {
   if (!decoded_.insert(gen).second) return;
   progress_.erase(gen);
+
+  if (disruption_at_ >= 0) {
+    stats_.last_recovery_s = net_.sim().now() - disruption_at_;
+    if (m_recovery_s_ != nullptr) m_recovery_s_->record(stats_.last_recovery_s);
+    disruption_at_ = -1;
+  }
 
   // Unpadded byte count of this generation.
   const std::size_t gen_bytes = cfg_.params.generation_bytes();

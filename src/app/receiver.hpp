@@ -46,6 +46,8 @@ struct ReceiverStats {
   std::uint64_t verify_failures = 0;
   netsim::Time first_generation_decoded_at = -1;
   netsim::Time completed_at = -1;  // all generations decoded
+  /// Time from the last mark_disruption() to the next decoded generation.
+  netsim::Time last_recovery_s = -1;
 };
 
 struct ThroughputSample {
@@ -77,6 +79,13 @@ class McReceiver {
   /// Verify decoded generations against the synthetic provider's expected
   /// content (costs a regeneration per generation; used in tests).
   void set_verify(const SyntheticProvider* expected) { verify_ = expected; }
+
+  /// Failure-injection bookkeeping: a disruption (link outage, VNF crash,
+  /// re-route) may have hit this receiver's session now. The time until
+  /// the next decoded generation is recorded into the app.recovery_time_s
+  /// histogram and stats().last_recovery_s — the per-session recovery
+  /// latency of the tentpole acceptance criteria.
+  void mark_disruption();
 
   /// Ordered application delivery: generations are handed to the sink in
   /// generation order (later-decoded earlier generations are held back),
@@ -114,11 +123,13 @@ class McReceiver {
   OrderedSink ordered_sink_;
   coding::GenerationId next_ordered_ = 0;
   std::map<coding::GenerationId, std::vector<std::uint8_t>> held_back_;
+  netsim::Time disruption_at_ = -1;
   // Cached registry handles (null without a hub on the network).
   obs::Counter* m_generations_decoded_ = nullptr;
   obs::Counter* m_payload_bytes_ = nullptr;
   obs::Counter* m_repair_requests_ = nullptr;
   obs::Counter* m_verify_failures_ = nullptr;
+  obs::Histogram* m_recovery_s_ = nullptr;
 };
 
 }  // namespace ncfn::app

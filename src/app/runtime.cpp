@@ -72,21 +72,95 @@ bool all_receivers_complete(
 
 }  // namespace
 
+ctrl::DeploymentPlan NcMulticastSession::prepared(
+    const ctrl::DeploymentPlan& raw_plan) const {
+  ctrl::DeploymentPlan plan = raw_plan;
+  if (wiring_.quantize) {
+    ctrl::quantize_plan(plan, wiring_.vnf.params.generation_blocks);
+  }
+  return plan;
+}
+
+std::vector<std::pair<ctrl::NextHop, double>> NcMulticastSession::source_hops(
+    const ctrl::DeploymentPlan& plan, std::size_t m) const {
+  const netsim::Port data_port = ctrl::session_data_port(spec_.id);
+  std::vector<std::pair<ctrl::NextHop, double>> hops;
+  for (const auto& [to, rate] : plan.next_hops(sim_->topo(), m, spec_.source)) {
+    hops.emplace_back(
+        ctrl::NextHop{static_cast<std::uint32_t>(sim_->node(to)), data_port},
+        rate);
+  }
+  return hops;
+}
+
+void NcMulticastSession::wire_relays(const ctrl::DeploymentPlan& plan,
+                                     std::size_t m) {
+  const graph::Topology& topo = sim_->topo();
+  const netsim::Port data_port = ctrl::session_data_port(spec_.id);
+
+  // ---- Relays: every DC carrying this session's flow ----
+  std::set<graph::NodeIdx> relay_nodes;
+  std::map<graph::NodeIdx, double> in_rate;
+  std::map<graph::NodeIdx, int> in_edges;
+  for (const auto& [e, rate] : plan.edge_rate_mbps.at(m)) {
+    const graph::EdgeInfo& ei = topo.edge(e);
+    if (ei.to != spec_.source &&
+        topo.node(ei.to).kind == graph::NodeKind::kDataCenter) {
+      relay_nodes.insert(ei.to);
+      in_rate[ei.to] += rate;
+      in_edges[ei.to] += 1;
+    }
+  }
+  for (graph::NodeIdx v : relay_nodes) {
+    vnf::VnfConfig vcfg = wiring_.vnf;
+    vcfg.seed = wiring_.seed + static_cast<std::uint32_t>(v) * 131u + 1;
+    vnf::CodingVnf& relay = sim_->vnf_at(v, vcfg);
+    const auto it = plan.vnf_count.find(v);
+    const int lanes = it == plan.vnf_count.end() ? 1 : std::max(1, it->second);
+    if (static_cast<std::size_t>(lanes) > relay.lanes()) {
+      relay.set_lanes(static_cast<std::size_t>(lanes));
+    }
+    std::vector<vnf::NextHopRate> hops;
+    bool thins = false;  // some out-hop carries less than the inflow
+    for (const auto& [to, rate] : plan.next_hops(topo, m, v)) {
+      const double share = rate / std::max(in_rate[v], 1e-9);
+      if (share < 0.999) thins = true;
+      hops.push_back(vnf::NextHopRate{
+          ctrl::NextHop{static_cast<std::uint32_t>(sim_->node(to)), data_port},
+          share});
+    }
+    // Coding is needed where multiple flows of the session merge
+    // (Sec. IV.A: "direct forwarding is sufficient" otherwise) — and also
+    // wherever the relay thins the stream: forwarding would send the SAME
+    // packet subset down every branch, collapsing the downstream branches
+    // onto one subspace, whereas recoding keeps each branch's packets
+    // independent draws from the relay's span.
+    const ctrl::VnfRole role =
+        in_edges[v] >= 2 || thins ? ctrl::VnfRole::kRecode
+                                  : ctrl::VnfRole::kForward;
+    relay.configure_session(spec_.id, role, data_port);
+    relay.set_next_hops(spec_.id, std::move(hops));
+  }
+
+  // Relays dropped by the new plan stop forwarding this session — their
+  // node (or the path to it) failed, or the re-solve routed around them.
+  for (graph::NodeIdx v : relays_) {
+    if (relay_nodes.count(v) > 0) continue;
+    if (vnf::CodingVnf* old_relay = sim_->find_vnf(v)) {
+      old_relay->set_next_hops(spec_.id, {});
+    }
+  }
+  relays_ = std::move(relay_nodes);
+}
+
 NcMulticastSession::NcMulticastSession(SimNet& sim,
                                        const ctrl::DeploymentPlan& raw_plan,
                                        std::size_t m,
                                        const ctrl::SessionSpec& spec,
                                        const GenerationProvider& provider,
-                                       const SessionWiring& wiring) {
-  ctrl::DeploymentPlan quantized;
-  const ctrl::DeploymentPlan* plan_ptr = &raw_plan;
-  if (wiring.quantize) {
-    quantized = raw_plan;
-    ctrl::quantize_plan(quantized, wiring.vnf.params.generation_blocks);
-    plan_ptr = &quantized;
-  }
-  const ctrl::DeploymentPlan& plan = *plan_ptr;
-  const graph::Topology& topo = sim.topo();
+                                       const SessionWiring& wiring)
+    : sim_(&sim), spec_(spec), wiring_(wiring) {
+  const ctrl::DeploymentPlan plan = prepared(raw_plan);
   const netsim::Port data_port = ctrl::session_data_port(spec.id);
   const netsim::Port fb_port = session_feedback_port(spec.id);
 
@@ -101,57 +175,9 @@ NcMulticastSession::NcMulticastSession(SimNet& sim,
   scfg.seed = wiring.seed;
   source_ = std::make_unique<McSource>(sim.net(), sim.node(spec.source),
                                        provider, scfg);
-  std::vector<std::pair<ctrl::NextHop, double>> src_hops;
-  for (const auto& [to, rate] : plan.next_hops(topo, m, spec.source)) {
-    src_hops.emplace_back(
-        ctrl::NextHop{static_cast<std::uint32_t>(sim.node(to)), data_port},
-        rate);
-  }
-  source_->configure_hops(std::move(src_hops));
+  source_->configure_hops(source_hops(plan, m));
 
-  // ---- Relays: every DC carrying this session's flow ----
-  std::set<graph::NodeIdx> relay_nodes;
-  std::map<graph::NodeIdx, double> in_rate;
-  std::map<graph::NodeIdx, int> in_edges;
-  for (const auto& [e, rate] : plan.edge_rate_mbps.at(m)) {
-    const graph::EdgeInfo& ei = topo.edge(e);
-    if (ei.to != spec.source &&
-        topo.node(ei.to).kind == graph::NodeKind::kDataCenter) {
-      relay_nodes.insert(ei.to);
-      in_rate[ei.to] += rate;
-      in_edges[ei.to] += 1;
-    }
-  }
-  for (graph::NodeIdx v : relay_nodes) {
-    vnf::VnfConfig vcfg = wiring.vnf;
-    vcfg.seed = wiring.seed + static_cast<std::uint32_t>(v) * 131u + 1;
-    vnf::CodingVnf& relay = sim.vnf_at(v, vcfg);
-    const auto it = plan.vnf_count.find(v);
-    const int lanes = it == plan.vnf_count.end() ? 1 : std::max(1, it->second);
-    if (static_cast<std::size_t>(lanes) > relay.lanes()) {
-      relay.set_lanes(static_cast<std::size_t>(lanes));
-    }
-    std::vector<vnf::NextHopRate> hops;
-    bool thins = false;  // some out-hop carries less than the inflow
-    for (const auto& [to, rate] : plan.next_hops(topo, m, v)) {
-      const double share = rate / std::max(in_rate[v], 1e-9);
-      if (share < 0.999) thins = true;
-      hops.push_back(vnf::NextHopRate{
-          ctrl::NextHop{static_cast<std::uint32_t>(sim.node(to)), data_port},
-          share});
-    }
-    // Coding is needed where multiple flows of the session merge
-    // (Sec. IV.A: "direct forwarding is sufficient" otherwise) — and also
-    // wherever the relay thins the stream: forwarding would send the SAME
-    // packet subset down every branch, collapsing the downstream branches
-    // onto one subspace, whereas recoding keeps each branch's packets
-    // independent draws from the relay's span.
-    const ctrl::VnfRole role =
-        in_edges[v] >= 2 || thins ? ctrl::VnfRole::kRecode
-                                  : ctrl::VnfRole::kForward;
-    relay.configure_session(spec.id, role, data_port);
-    relay.set_next_hops(spec.id, std::move(hops));
-  }
+  wire_relays(plan, m);
 
   // ---- Receivers ----
   for (graph::NodeIdx r : spec.receivers) {
@@ -169,6 +195,15 @@ NcMulticastSession::NcMulticastSession(SimNet& sim,
     receivers_.push_back(std::make_unique<McReceiver>(
         sim.net(), sim.node(r), provider, rcfg));
   }
+}
+
+void NcMulticastSession::rewire(const ctrl::DeploymentPlan& raw_plan,
+                                std::size_t m) {
+  const ctrl::DeploymentPlan plan = prepared(raw_plan);
+  source_->reconfigure_hops(source_hops(plan, m),
+                            std::max(plan.lambda_mbps.at(m), 1e-3));
+  wire_relays(plan, m);
+  for (auto& r : receivers_) r->mark_disruption();
 }
 
 void NcMulticastSession::start() {

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "app/baseline.hpp"
@@ -91,6 +92,14 @@ class NcMulticastSession {
 
   void start();
 
+  /// Re-wire the *live* session onto a new deployment plan (the
+  /// controller's re-solve after a failure): the source is re-steered onto
+  /// the new out-edges, relays gain/lose forwarding entries (a relay
+  /// dropped from the plan stops forwarding this session), and every
+  /// receiver's recovery clock starts (mark_disruption). Generation
+  /// progress is preserved — the transfer continues, it does not restart.
+  void rewire(const ctrl::DeploymentPlan& raw_plan, std::size_t plan_index);
+
   [[nodiscard]] McSource& source() { return *source_; }
   [[nodiscard]] McReceiver& receiver(std::size_t k) { return *receivers_.at(k); }
   [[nodiscard]] std::size_t receiver_count() const { return receivers_.size(); }
@@ -99,6 +108,16 @@ class NcMulticastSession {
   [[nodiscard]] bool all_complete() const;
 
  private:
+  [[nodiscard]] ctrl::DeploymentPlan prepared(
+      const ctrl::DeploymentPlan& raw_plan) const;
+  [[nodiscard]] std::vector<std::pair<ctrl::NextHop, double>> source_hops(
+      const ctrl::DeploymentPlan& plan, std::size_t m) const;
+  void wire_relays(const ctrl::DeploymentPlan& plan, std::size_t m);
+
+  SimNet* sim_ = nullptr;
+  ctrl::SessionSpec spec_;
+  SessionWiring wiring_;
+  std::set<graph::NodeIdx> relays_;  // nodes currently forwarding/recoding
   std::unique_ptr<McSource> source_;
   std::vector<std::unique_ptr<McReceiver>> receivers_;
 };

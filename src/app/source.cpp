@@ -49,6 +49,40 @@ void McSource::configure_hops(
   }
 }
 
+void McSource::reconfigure_hops(
+    std::vector<std::pair<ctrl::NextHop, double>> hops, double lambda_mbps) {
+  assert(!tree_mode_ && "live rewire is NC-mode only");
+  if (lambda_mbps > 0) cfg_.lambda_mbps = lambda_mbps;
+  // Resume from the least-advanced generation across the old pacers: the
+  // new edge set must not skip a generation some receiver never got, and
+  // redundant coded packets for already-decoded generations are harmless.
+  coding::GenerationId resume = provider_.generation_count();
+  std::deque<Feedback> pending;
+  for (Pacer& p : pacers_) {
+    resume = std::min(resume, p.gen_cursor);
+    for (const Feedback& fb : p.repair_queue) pending.push_back(fb);
+  }
+  ++pacer_epoch_;  // invalidate every tick scheduled against the old pacers
+  configure_hops(std::move(hops));
+  for (Pacer& p : pacers_) p.gen_cursor = resume;
+  // Outstanding repair work survives the rewire, spread round-robin.
+  if (!pacers_.empty()) {
+    for (const Feedback& fb : pending) {
+      pacers_[repair_rr_++ % pacers_.size()].repair_queue.push_back(fb);
+    }
+  }
+  if (started_) {
+    for (std::size_t i = 0; i < pacers_.size(); ++i) {
+      pacers_[i].running = true;
+      const double phase =
+          pacers_[i].interval_s *
+          (1.0 + 0.1 * static_cast<double>(i) /
+                     static_cast<double>(pacers_.size()));
+      schedule_tick(i, phase);
+    }
+  }
+}
+
 void McSource::configure_trees(const graph::Topology& topo,
                                std::vector<MulticastTree> trees,
                                netsim::Port data_port_override) {
@@ -93,8 +127,14 @@ void McSource::start() {
     const double phase =
         pacers_[i].interval_s * (1.0 + 0.1 * static_cast<double>(i) /
                                            static_cast<double>(pacers_.size()));
-    net_.sim().schedule(phase, [this, i] { pacer_tick(i); });
+    schedule_tick(i, phase);
   }
+}
+
+void McSource::schedule_tick(std::size_t idx, double delay_s) {
+  net_.sim().schedule(delay_s, [this, idx, epoch = pacer_epoch_] {
+    if (epoch == pacer_epoch_) pacer_tick(idx);
+  });
 }
 
 void McSource::stop() { stopped_ = true; }
@@ -230,7 +270,7 @@ void McSource::pacer_tick(std::size_t idx) {
 
   if (emitted || !p.repair_queue.empty() ||
       (!stopped_ && !data_exhausted())) {
-    net_.sim().schedule(p.interval_s, [this, idx] { pacer_tick(idx); });
+    schedule_tick(idx, p.interval_s);
   } else {
     p.running = false;  // idle; a repair request will wake it up
   }
@@ -259,8 +299,14 @@ void McSource::on_feedback(const netsim::Datagram& d) {
     for (std::size_t i = 0; i < pacers_.size(); ++i) {
       if (pacers_[i].tree_index == tree) pidx = i;
     }
-    // One queue entry per missing block.
+    // One queue entry per missing block. A zero mask (the receiver cannot
+    // name blocks >= 64) asks for `count` coded repairs instead.
     std::uint64_t mask = fb->block_mask;
+    if (mask == 0) {
+      for (std::uint16_t c = 0; c < fb->count; ++c) {
+        pacers_[pidx].repair_queue.push_back(*fb);
+      }
+    }
     while (mask != 0) {
       const std::uint64_t bit = mask & (~mask + 1);
       mask ^= bit;
@@ -270,8 +316,7 @@ void McSource::on_feedback(const netsim::Datagram& d) {
     }
     if (!pacers_[pidx].running && started_) {
       pacers_[pidx].running = true;
-      net_.sim().schedule(pacers_[pidx].interval_s,
-                          [this, pidx] { pacer_tick(pidx); });
+      schedule_tick(pidx, pacers_[pidx].interval_s);
     }
   } else {
     // Spread the requested coded packets across the pacers round-robin.
@@ -282,8 +327,7 @@ void McSource::on_feedback(const netsim::Datagram& d) {
       pacers_[pidx].repair_queue.push_back(one);
       if (!pacers_[pidx].running && started_) {
         pacers_[pidx].running = true;
-        net_.sim().schedule(pacers_[pidx].interval_s,
-                            [this, pidx] { pacer_tick(pidx); });
+        schedule_tick(pidx, pacers_[pidx].interval_s);
       }
     }
   }

@@ -67,6 +67,16 @@ class McSource {
   /// NC mode: out-edges with their plan rates (Mbps).
   void configure_hops(std::vector<std::pair<ctrl::NextHop, double>> hops);
 
+  /// Re-steer a *live* source onto new hops (controller re-solve after a
+  /// failure): pacers are rebuilt for the new edges, generation progress
+  /// resumes from the least-advanced old pacer (a little duplication on
+  /// the fast edges beats losing a generation on the slow ones — coded
+  /// duplicates are harmless), and stale pacer ticks are invalidated.
+  /// `lambda_mbps` > 0 adopts the re-solved session rate for the
+  /// per-generation quotas.
+  void reconfigure_hops(std::vector<std::pair<ctrl::NextHop, double>> hops,
+                        double lambda_mbps = 0.0);
+
   /// Non-NC mode: packed trees; this node's root hops are derived from
   /// each tree's edges.
   void configure_trees(const graph::Topology& topo,
@@ -103,6 +113,9 @@ class McSource {
 
   void on_feedback(const netsim::Datagram& d);
   void pacer_tick(std::size_t idx);
+  /// Schedule a pacer tick bound to the current pacer generation: ticks
+  /// scheduled before a reconfigure_hops() must not touch rebuilt pacers.
+  void schedule_tick(std::size_t idx, double delay_s);
   void send_packet(Pacer& p, const coding::CodedPacket& pkt, bool repair);
   void ensure_encoder(coding::GenerationId gen);
 
@@ -119,6 +132,7 @@ class McSource {
   std::vector<MulticastTree> trees_;
   std::vector<std::uint16_t> schedule_;
   std::vector<Pacer> pacers_;
+  std::uint64_t pacer_epoch_ = 0;  // bumped when pacers_ is rebuilt live
 
   // Lazily-built encoder for the generation being emitted (LRU of 2: the
   // clock generation and whatever repair is being served).

@@ -387,9 +387,81 @@ void Controller::apply_delay_change(graph::EdgeIdx e, const PendingDelay& pd,
   if (next.feasible) apply_plan(std::move(next), now_s);
 }
 
+// ---------------- failure handling ----------------
+
+void Controller::resolve_after_failure(
+    const std::set<coding::SessionId>& affected, const char* cause,
+    double now_s) {
+  ++resolves_;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("ctrl.resolves").inc();
+    obs_->trace.resolve(cause, affected.size());
+  }
+  std::set<coding::SessionId> frozen = all_session_ids();
+  for (coding::SessionId id : affected) frozen.erase(id);
+  SolveOptions opts;
+  opts.frozen_sessions = frozen;
+  opts.previous = &plan_;
+  opts.vnf_floor = current_deployment();
+  DeploymentPlan next = solve_with(opts);
+  if (next.feasible) apply_plan(std::move(next), now_s);
+}
+
+void Controller::report_link_state(graph::EdgeIdx e, bool up, double now_s) {
+  graph::EdgeInfo& ei = topo_.edge(e);
+  if (ei.up == up) return;
+  ei.up = up;
+  if (!up) {
+    // Only sessions routed over the failed edge need new flows; the
+    // feasible-path sets they re-solve against exclude the edge now.
+    resolve_after_failure(sessions_using_edge(e), "link_down", now_s);
+  } else {
+    // Recovery expands every session's path set, like a delay decrease.
+    resolve_after_failure(all_session_ids(), "link_up", now_s);
+  }
+}
+
+void Controller::report_node_state(graph::NodeIdx v, bool up, double now_s) {
+  const bool was_down = down_nodes_.count(v) > 0;
+  if (up != was_down) return;  // no transition
+  std::set<coding::SessionId> affected;
+  if (!up) {
+    down_nodes_.insert(v);
+    affected = sessions_using_dc(v);
+    // The DC's VMs crashed with the machine; nothing drains gracefully.
+    auto it = pools_.find(v);
+    if (it != pools_.end()) {
+      it->second.running = 0;
+      it->second.draining.clear();
+    }
+  } else {
+    down_nodes_.erase(v);
+    affected = all_session_ids();
+  }
+  for (graph::EdgeIdx e = 0; e < topo_.edge_count(); ++e) {
+    graph::EdgeInfo& ei = topo_.edge(e);
+    if (ei.from == v || ei.to == v) ei.up = up;
+  }
+  resolve_after_failure(affected, up ? "node_up" : "node_down", now_s);
+}
+
+void Controller::heartbeat(graph::NodeIdx v, double now_s) {
+  last_heartbeat_[v] = now_s;
+  if (down_nodes_.count(v) > 0) report_node_state(v, true, now_s);
+}
+
 // ---------------- housekeeping ----------------
 
 void Controller::tick(double now_s) {
+  // Daemon liveness: a DC whose heartbeat went stale is declared down.
+  if (cfg_.heartbeat_timeout_s > 0) {
+    for (const auto& [v, last] : last_heartbeat_) {
+      if (down_nodes_.count(v) == 0 &&
+          now_s - last >= cfg_.heartbeat_timeout_s) {
+        report_node_state(v, false, now_s);
+      }
+    }
+  }
   // Apply pending measurement changes whose persistence requirement has
   // been met even if no fresh report arrived exactly at the deadline.
   for (auto it = pending_bw_.begin(); it != pending_bw_.end();) {

@@ -29,6 +29,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,9 @@ class Controller {
     double tau2_s = 600.0;  // delay-change persistence requirement
     graph::PathSearchLimits path_limits;
     int max_vnfs_per_dc = 64;
+    /// Declare a data center down when its daemon heartbeat is older
+    /// than this at tick() time. 0 disables liveness tracking.
+    double heartbeat_timeout_s = 0.0;
   };
 
   struct LoggedSignal {
@@ -84,8 +88,28 @@ class Controller {
   /// One-way delay measured on edge e (the ping probe).
   void report_delay(graph::EdgeIdx e, double delay_s, double now_s);
 
+  // ---- Failure handling ----
+  /// Explicit topology-change event: edge e failed (up=false) or
+  /// recovered. Unlike bandwidth/delay noise there is no tau persistence
+  /// filter — an outage re-solves immediately: sessions routed over the
+  /// edge are re-planned around it (others stay frozen), new forwarding
+  /// tables and NC_VNF_START/END signals are pushed, and a `resolve`
+  /// trace event records the reaction. Recovery re-solves everything.
+  void report_link_state(graph::EdgeIdx e, bool up, double now_s);
+  /// Machine-level failure: every edge incident to v fails with it and
+  /// the DC's VNF pool is lost (crashed VMs do not drain gracefully).
+  void report_node_state(graph::NodeIdx v, bool up, double now_s);
+  /// Daemon liveness report. A heartbeat from a down DC revives it.
+  void heartbeat(graph::NodeIdx v, double now_s);
+  /// Count of failure-triggered re-solves performed so far.
+  [[nodiscard]] int resolves() const { return resolves_; }
+  [[nodiscard]] bool node_down(graph::NodeIdx v) const {
+    return down_nodes_.count(v) > 0;
+  }
+
   /// Periodic housekeeping: applies measurement changes that persisted past
-  /// tau1/tau2, expires draining VNFs, consolidates under-utilized ones.
+  /// tau1/tau2, expires draining VNFs, consolidates under-utilized ones,
+  /// and declares DCs with stale heartbeats down.
   void tick(double now_s);
 
   // ---- Introspection ----
@@ -156,6 +180,10 @@ class Controller {
                               double now_s);
   void apply_delay_change(graph::EdgeIdx e, const PendingDelay& pd,
                           double now_s);
+  /// Re-solve with only `affected` sessions unfrozen and install the
+  /// result; records the `resolve` trace event and counter.
+  void resolve_after_failure(const std::set<coding::SessionId>& affected,
+                             const char* cause, double now_s);
 
   graph::Topology topo_;
   Config cfg_;
@@ -164,6 +192,9 @@ class Controller {
   std::map<graph::NodeIdx, VnfPool> pools_;
   std::map<graph::NodeIdx, PendingBandwidth> pending_bw_;
   std::map<graph::EdgeIdx, PendingDelay> pending_delay_;
+  std::map<graph::NodeIdx, double> last_heartbeat_;
+  std::set<graph::NodeIdx> down_nodes_;
+  int resolves_ = 0;
   std::map<graph::NodeIdx, ForwardingTable> pushed_tables_;
   std::vector<LoggedSignal> signals_;
   obs::Observability* obs_ = nullptr;

@@ -26,6 +26,7 @@ void dfs(DfsState& s, NodeIdx at) {
   }
   for (EdgeIdx e : s.topo.out_edges(at)) {
     const EdgeInfo& ei = s.topo.edge(e);
+    if (!ei.up) continue;  // failed edge: no feasible path crosses it
     const NodeIdx next = ei.to;
     if (s.visited[static_cast<std::size_t>(next)]) continue;
     if (s.delay + ei.delay_s > s.lmax) continue;

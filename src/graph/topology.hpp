@@ -37,6 +37,7 @@ struct EdgeInfo {
   NodeIdx to = -1;
   double delay_s = 0.0;        // L(e)
   double capacity_bps = kInf;  // optional per-link cap (extension)
+  bool up = true;  // failed edges stay in the graph but carry no paths
 };
 
 class Topology {

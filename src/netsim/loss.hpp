@@ -66,12 +66,17 @@ class GilbertElliottLoss final : public LossModel {
         loss_bad_(loss_bad) {}
   bool drop(std::mt19937& rng) override {
     std::uniform_real_distribution<double> u(0.0, 1.0);
+    // Sample the loss in the *current* state, then transition: the n-th
+    // packet sees the state reached after n-1 packets. Transitioning
+    // first made the first packet of every burst draw from the wrong
+    // state and skewed the stationary loss rate.
+    const bool dropped = u(rng) < (good_ ? loss_good_ : loss_bad_);
     if (good_) {
       if (u(rng) < p_gb_) good_ = false;
     } else {
       if (u(rng) < p_bg_) good_ = true;
     }
-    return u(rng) < (good_ ? loss_good_ : loss_bad_);
+    return dropped;
   }
 
  private:

@@ -18,7 +18,7 @@ void Link::bind_obs(obs::Observability* obs) {
   if (obs == nullptr) {
     trace_ = nullptr;
     m_enqueued_ = m_delivered_ = m_bytes_ = m_drop_loss_ = m_drop_queue_ =
-        nullptr;
+        m_drop_down_ = nullptr;
     m_queue_depth_ = m_busy_s_ = nullptr;
     return;
   }
@@ -30,16 +30,33 @@ void Link::bind_obs(obs::Observability* obs) {
   m_bytes_ = &obs->metrics.counter(prefix + "bytes_delivered");
   m_drop_loss_ = &obs->metrics.counter(prefix + "dropped_loss");
   m_drop_queue_ = &obs->metrics.counter(prefix + "dropped_queue");
+  m_drop_down_ = &obs->metrics.counter(prefix + "dropped_down");
   m_queue_depth_ = &obs->metrics.gauge(prefix + "queue_depth");
   // Cumulative serializer busy time: utilization over [0, T] is
   // busy_s / T without any per-delivery division on the hot path.
   m_busy_s_ = &obs->metrics.gauge(prefix + "busy_s");
 }
 
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up) ++down_epoch_;  // packets in flight are lost at delivery time
+  if (trace_ != nullptr) trace_->link_state(from_, to_, up);
+}
+
 void Link::transmit(Datagram d) {
   ++stats_.offered;
   Simulator& sim = net_.sim();
 
+  if (!up_) {
+    ++stats_.dropped_down;
+    if (m_drop_down_ != nullptr) m_drop_down_->inc();
+    if (trace_ != nullptr) {
+      trace_->packet_drop(from_, to_, d.wire_bytes(), "down");
+    }
+    net_.recycle_buffer(std::move(d.payload));
+    return;
+  }
   if (loss_ && loss_->drop(net_.rng())) {
     ++stats_.dropped_loss;
     if (m_drop_loss_ != nullptr) m_drop_loss_->inc();
@@ -73,27 +90,64 @@ void Link::transmit(Datagram d) {
     trace_->packet_enqueue(from_, to_, d.wire_bytes(), queued_);
   }
 
+  // The egress queue empties when the serializer finishes the packet, not
+  // when the packet lands `prop_delay_` later: a long-delay path must not
+  // eat queue budget with packets that are already in propagation.
+  // Scheduled before the delivery event so that at equal timestamps
+  // (zero-delay links) the queue shrinks before delivery is observed.
+  sim.schedule_at(busy_until_, [self = weak_from_this()] {
+    if (auto link = self.lock()) link->serializer_departure();
+  });
+
   Time deliver_at = busy_until_ + prop_delay_;
   if (jitter_ > 0) {
     deliver_at += std::uniform_real_distribution<Time>(0, jitter_)(net_.rng());
   }
-  sim.schedule_at(deliver_at, [this, pkt = std::move(d)]() mutable {
-    --queued_;
-    ++stats_.delivered;
-    stats_.bytes_delivered += pkt.wire_bytes();
-    if (m_delivered_ != nullptr) {
-      m_delivered_->inc();
-      m_bytes_->inc(pkt.wire_bytes());
-      m_queue_depth_->set(static_cast<double>(queued_));
+  // Weak handle: if the link is replaced/removed while the packet is in
+  // flight, the packet evaporates instead of touching a dead Link. The
+  // Network itself outlives every event (it owns the Simulator).
+  sim.schedule_at(deliver_at, [self = weak_from_this(), net = &net_,
+                               epoch = down_epoch_,
+                               pkt = std::move(d)]() mutable {
+    if (auto link = self.lock()) {
+      link->complete_delivery(std::move(pkt), epoch);
+    } else {
+      net->recycle_buffer(std::move(pkt.payload));
     }
-    if (trace_ != nullptr) {
-      trace_->packet_deliver(from_, to_, pkt.wire_bytes(), queued_);
-    }
-    net_.deliver(pkt);
-    // Handlers see the datagram by const reference (and copy what they
-    // keep), so the payload storage can go back to the pool.
-    net_.recycle_buffer(std::move(pkt.payload));
   });
+}
+
+void Link::serializer_departure() {
+  --queued_;
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->set(static_cast<double>(queued_));
+  }
+}
+
+void Link::complete_delivery(Datagram pkt, std::uint64_t epoch) {
+  if (epoch != down_epoch_) {
+    // The link went down after this packet was committed to the wire.
+    ++stats_.dropped_down;
+    if (m_drop_down_ != nullptr) m_drop_down_->inc();
+    if (trace_ != nullptr) {
+      trace_->packet_drop(from_, to_, pkt.wire_bytes(), "down");
+    }
+    net_.recycle_buffer(std::move(pkt.payload));
+    return;
+  }
+  ++stats_.delivered;
+  stats_.bytes_delivered += pkt.wire_bytes();
+  if (m_delivered_ != nullptr) {
+    m_delivered_->inc();
+    m_bytes_->inc(pkt.wire_bytes());
+  }
+  if (trace_ != nullptr) {
+    trace_->packet_deliver(from_, to_, pkt.wire_bytes(), queued_);
+  }
+  net_.deliver(pkt);
+  // Handlers see the datagram by const reference (and copy what they
+  // keep), so the payload storage can go back to the pool.
+  net_.recycle_buffer(std::move(pkt.payload));
 }
 
 NodeId Network::add_node(std::string name) {
@@ -102,11 +156,23 @@ NodeId Network::add_node(std::string name) {
 }
 
 Link& Network::add_link(NodeId from, NodeId to, const LinkConfig& cfg) {
-  auto link = std::make_unique<Link>(*this, from, to, cfg);
+  auto link = std::make_shared<Link>(*this, from, to, cfg);
   link->bind_obs(obs_);
   auto& slot = links_[{from, to}];
+  // Replacing drops the last strong reference to any previous link; its
+  // in-flight delivery events hold weak handles and become no-ops.
   slot = std::move(link);
   return *slot;
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  if (node >= node_down_.size()) node_down_.resize(node + 1, false);
+  if (node_down_[node] == !up) return;
+  node_down_[node] = !up;
+  if (obs_ != nullptr) obs_->trace.node_state(node, up);
+  for (auto& [key, link] : links_) {
+    if (key.first == node || key.second == node) link->set_up(up);
+  }
 }
 
 void Network::set_obs(obs::Observability* obs) {
@@ -163,6 +229,7 @@ void Network::recycle_buffer(std::vector<std::uint8_t>&& buf) {
 }
 
 void Network::deliver(const Datagram& d) {
+  if (!node_up(d.dst)) return;  // machine down: datagram vanishes
   auto it = handlers_.find({d.dst, d.dst_port});
   if (it != handlers_.end()) it->second(d);
   // No binding: silently dropped, like a closed UDP port.

@@ -56,13 +56,16 @@ struct LinkStats {
   std::uint64_t delivered = 0;      // packets that reached the far end
   std::uint64_t dropped_loss = 0;   // loss-model drops
   std::uint64_t dropped_queue = 0;  // tail drops
+  std::uint64_t dropped_down = 0;   // dropped while (or because) link down
   std::uint64_t bytes_delivered = 0;
 };
 
 class Network;
 
-/// One directed link. Created and owned by Network.
-class Link {
+/// One directed link. Created and owned by Network (shared so that
+/// in-flight delivery events hold weak handles and survive the link
+/// being replaced or removed at runtime).
+class Link : public std::enable_shared_from_this<Link> {
  public:
   Link(Network& net, NodeId from, NodeId to, const LinkConfig& cfg);
 
@@ -85,6 +88,14 @@ class Link {
   /// Install / replace the loss model (nullptr = lossless).
   void set_loss_model(std::unique_ptr<LossModel> m) { loss_ = std::move(m); }
 
+  /// Administrative up/down (outage injection). While down, transmit()
+  /// drops every datagram with reason "down"; packets already serialized
+  /// or in propagation when the link goes down are lost too (they are
+  /// dropped, deterministically, at their scheduled delivery time).
+  /// Coming back up does not resurrect anything.
+  void set_up(bool up);
+  [[nodiscard]] bool is_up() const { return up_; }
+
   /// Queue a datagram for transmission. Applies loss model and tail drop.
   void transmit(Datagram d);
 
@@ -93,6 +104,13 @@ class Link {
   void bind_obs(obs::Observability* obs);
 
  private:
+  /// Serializer finished pushing one packet onto the wire: the egress
+  /// queue shrinks now, not when the packet lands after propagation.
+  void serializer_departure();
+  /// Propagation finished; deliver unless the link went down (epoch
+  /// mismatch) while the packet was in flight.
+  void complete_delivery(Datagram pkt, std::uint64_t epoch);
+
   Network& net_;
   NodeId from_, to_;
   double capacity_bps_;
@@ -101,7 +119,9 @@ class Link {
   std::size_t queue_limit_;
   std::unique_ptr<LossModel> loss_;
   Time busy_until_ = 0;  // when the serializer frees up
-  std::size_t queued_ = 0;  // packets waiting for the serializer
+  std::size_t queued_ = 0;  // packets waiting for / inside the serializer
+  bool up_ = true;
+  std::uint64_t down_epoch_ = 0;  // bumped on every set_up(false)
   LinkStats stats_;
   // Observability handles (all null, or all live — bound together).
   obs::EventTrace* trace_ = nullptr;
@@ -110,6 +130,7 @@ class Link {
   obs::Counter* m_bytes_ = nullptr;
   obs::Counter* m_drop_loss_ = nullptr;
   obs::Counter* m_drop_queue_ = nullptr;
+  obs::Counter* m_drop_down_ = nullptr;
   obs::Gauge* m_queue_depth_ = nullptr;
   obs::Gauge* m_busy_s_ = nullptr;  // cumulative serialization time
 };
@@ -138,13 +159,23 @@ class Network {
   }
   [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
 
-  /// Add a directed link. Replaces any existing from→to link.
+  /// Add a directed link. Replaces any existing from→to link; packets in
+  /// flight on the replaced link evaporate (their delivery events hold a
+  /// weak handle that no longer resolves).
   Link& add_link(NodeId from, NodeId to, const LinkConfig& cfg);
   /// Add a pair of symmetric links.
   void add_duplex_link(NodeId a, NodeId b, const LinkConfig& cfg);
 
   [[nodiscard]] Link* link(NodeId from, NodeId to);
   [[nodiscard]] const Link* link(NodeId from, NodeId to) const;
+
+  /// Machine-level outage: takes every link incident to `node` down (or
+  /// back up) and gates delivery to the node itself. Emits node_down /
+  /// node_up trace events around the per-link transitions.
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const {
+    return node >= node_down_.size() || !node_down_[node];
+  }
 
   /// Bind a datagram handler at (node, port); replaces a previous binding.
   void bind(NodeId node, Port port, DatagramHandler handler);
@@ -187,7 +218,8 @@ class Network {
   std::mt19937 rng_;
   obs::Observability* obs_ = nullptr;
   std::vector<std::string> node_names_;
-  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<Link>> links_;
+  std::vector<bool> node_down_;  // lazily grown; default everything up
+  std::map<std::pair<NodeId, NodeId>, std::shared_ptr<Link>> links_;
   std::map<std::pair<NodeId, Port>, DatagramHandler> handlers_;
   std::vector<std::vector<std::uint8_t>> buffer_pool_;
 };

@@ -4,16 +4,62 @@
 
 namespace ncfn::netsim {
 
+// Schedules hold weak handles so a link replaced (Network::add_link on an
+// existing pair) or removed mid-run just stops reacting instead of
+// dangling.
 void apply_capacity_schedule(Network& net, Link& link, Schedule steps) {
   for (const auto& [at, bps] : steps) {
-    net.sim().schedule_at(at, [&link, v = bps] { link.set_capacity_bps(v); });
+    net.sim().schedule_at(at, [w = link.weak_from_this(), v = bps] {
+      if (auto l = w.lock()) l->set_capacity_bps(v);
+    });
   }
 }
 
 void apply_delay_schedule(Network& net, Link& link, Schedule steps) {
   for (const auto& [at, delay] : steps) {
-    net.sim().schedule_at(at, [&link, v = delay] { link.set_prop_delay(v); });
+    net.sim().schedule_at(at, [w = link.weak_from_this(), v = delay] {
+      if (auto l = w.lock()) l->set_prop_delay(v);
+    });
   }
+}
+
+void apply_failure_schedule(Network& net, Link& link,
+                            const FailureSchedule& outages) {
+  for (const auto& o : outages) {
+    net.sim().schedule_at(o.at, [w = link.weak_from_this()] {
+      if (auto l = w.lock()) l->set_up(false);
+    });
+    net.sim().schedule_at(o.at + o.duration, [w = link.weak_from_this()] {
+      if (auto l = w.lock()) l->set_up(true);
+    });
+  }
+}
+
+void apply_node_failure_schedule(Network& net, NodeId node,
+                                 const FailureSchedule& outages) {
+  for (const auto& o : outages) {
+    net.sim().schedule_at(o.at, [&net, node] { net.set_node_up(node, false); });
+    net.sim().schedule_at(o.at + o.duration,
+                          [&net, node] { net.set_node_up(node, true); });
+  }
+}
+
+FailureSchedule random_outages(Time horizon, double mean_interval_s,
+                               double mean_duration_s, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::exponential_distribution<double> gap(1.0 / mean_interval_s);
+  std::exponential_distribution<double> dur(1.0 / mean_duration_s);
+  FailureSchedule out;
+  Time t = 0;
+  while (true) {
+    t += gap(rng);
+    if (t >= horizon) break;
+    Time d = dur(rng);
+    if (t + d > horizon) d = horizon - t;  // truncate at the horizon
+    out.push_back({t, d});
+    t += d;  // next inter-arrival starts after recovery: no overlap
+  }
+  return out;
 }
 
 Schedule ar1_trace(double nominal, double sigma, double reversion,

@@ -25,6 +25,34 @@ void apply_capacity_schedule(Network& net, Link& link, Schedule steps);
 /// Same for the propagation delay (route changes on the Internet path).
 void apply_delay_schedule(Network& net, Link& link, Schedule steps);
 
+/// One outage: the link (or node) is down over [at, at + duration).
+struct Outage {
+  Time at = 0;
+  Time duration = 0;
+};
+
+/// A deterministic failure schedule: sorted, non-overlapping outages,
+/// replayed by the simulator exactly like capacity/delay schedules.
+using FailureSchedule = std::vector<Outage>;
+
+/// Install a link failure schedule: at each outage start the link goes
+/// down (in-flight packets are lost), at start + duration it comes back.
+void apply_failure_schedule(Network& net, Link& link,
+                            const FailureSchedule& outages);
+
+/// Same for a whole machine: every link incident to `node` flaps with it.
+void apply_node_failure_schedule(Network& net, NodeId node,
+                                 const FailureSchedule& outages);
+
+/// Seedable random outages over [0, horizon): exponential inter-arrival
+/// with mean `mean_interval_s`, exponential duration with mean
+/// `mean_duration_s`, truncated so outages never overlap. Deterministic
+/// for a given seed.
+[[nodiscard]] FailureSchedule random_outages(Time horizon,
+                                             double mean_interval_s,
+                                             double mean_duration_s,
+                                             std::uint32_t seed);
+
 /// Build an AR(1) mean-reverting trace around `nominal`:
 ///   v_{t+1} = reversion * v_t + (1 - reversion) * nominal + N(0, sigma)
 /// sampled every `interval_s` for `steps` samples — the shape of the

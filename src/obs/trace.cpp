@@ -113,6 +113,32 @@ void EventTrace::emit_fwdtab(std::uint32_t node, std::size_t changed,
   finish();
 }
 
+void EventTrace::emit_pair(const char* ev, std::uint32_t from,
+                           std::uint32_t to) {
+  stamp(ev);
+  data_ += ",\"from\":";
+  append_u64(data_, from);
+  data_ += ",\"to\":";
+  append_u64(data_, to);
+  finish();
+}
+
+void EventTrace::emit_node(const char* ev, std::uint32_t node) {
+  stamp(ev);
+  data_ += ",\"node\":";
+  append_u64(data_, node);
+  finish();
+}
+
+void EventTrace::emit_resolve(const char* cause, std::size_t sessions) {
+  stamp("resolve");
+  data_ += ",\"cause\":\"";
+  data_ += cause;
+  data_ += "\",\"sessions\":";
+  append_u64(data_, sessions);
+  finish();
+}
+
 bool EventTrace::write(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;

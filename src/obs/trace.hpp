@@ -66,6 +66,16 @@ class EventTrace {
     if (!enabled_) return;
     emit_link("pkt_dlv", from, to, bytes, queue_depth);
   }
+  /// Link administrative state change (outage start / end).
+  void link_state(std::uint32_t from, std::uint32_t to, bool up) {
+    if (!enabled_) return;
+    emit_pair(up ? "link_up" : "link_down", from, to);
+  }
+  /// Node (machine) state change: all incident links go with it.
+  void node_state(std::uint32_t node, bool up) {
+    if (!enabled_) return;
+    emit_node(up ? "node_up" : "node_down", node);
+  }
 
   // ---- coding ----
   /// New (session, generation) decoding state created at `node`.
@@ -96,11 +106,28 @@ class EventTrace {
     emit_gen("vnf_recode", node, session, generation, rank);
   }
 
+  /// Coding function at `node` crashed: buffered decoder state is lost.
+  void vnf_crash(std::uint32_t node) {
+    if (!enabled_) return;
+    emit_node("vnf_crash", node);
+  }
+  /// Coding function at `node` restarted cold after a crash.
+  void vnf_restart(std::uint32_t node) {
+    if (!enabled_) return;
+    emit_node("vnf_restart", node);
+  }
+
   // ---- ctrl ----
   /// An NC_* control signal handled at (or emitted towards) `node`.
   void signal(std::uint32_t node, const char* kind) {
     if (!enabled_) return;
     emit_signal(node, kind);
+  }
+  /// Controller reacted to a topology change (`cause` is "link_down",
+  /// "link_up", "node_down", ... ) by re-solving `sessions` sessions.
+  void resolve(const char* cause, std::size_t sessions) {
+    if (!enabled_) return;
+    emit_resolve(cause, sessions);
   }
   /// Forwarding table replaced at `node`: `changed` entries differed,
   /// modeled apply cost `cost_s`.
@@ -122,6 +149,9 @@ class EventTrace {
                        const char* reason);
   void emit_signal(std::uint32_t node, const char* kind);
   void emit_fwdtab(std::uint32_t node, std::size_t changed, double cost_s);
+  void emit_pair(const char* ev, std::uint32_t from, std::uint32_t to);
+  void emit_node(const char* ev, std::uint32_t node);
+  void emit_resolve(const char* cause, std::size_t sessions);
   void stamp(const char* ev);
   void finish();
 

@@ -18,6 +18,7 @@ CodingVnf::CodingVnf(netsim::Network& net, netsim::NodeId node, VnfConfig cfg)
     m_recoded_ = &obs->metrics.counter(p + "recoded");
     m_proc_dropped_ = &obs->metrics.counter(p + "proc_dropped");
     m_decoded_ = &obs->metrics.counter(p + "decoded_generations");
+    m_crash_dropped_ = &obs->metrics.counter(p + "crash_dropped");
     m_lane_backlog_ = &obs->metrics.gauge(p + "lane_backlog");
   }
 }
@@ -66,6 +67,27 @@ void CodingVnf::set_tree_routing(coding::SessionId id, TreeRouting routing) {
 
 void CodingVnf::pause() { paused_ = true; }
 
+void CodingVnf::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++crash_epoch_;
+  // Everything the process held in memory dies with it: decoder state,
+  // emission credits, deferred emissions, paused backlog.
+  for (auto& [id, st] : sessions_) {
+    buffer_.erase_session(id);
+    st.ledger.clear();
+  }
+  paused_backlog_.clear();
+  paused_ = false;
+  if (trace_ != nullptr) trace_->vnf_crash(node_);
+}
+
+void CodingVnf::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  if (trace_ != nullptr) trace_->vnf_restart(node_);
+}
+
 void CodingVnf::resume() {
   paused_ = false;
   auto backlog = std::move(paused_backlog_);
@@ -94,6 +116,11 @@ std::size_t CodingVnf::lane_of(coding::SessionId s,
 }
 
 void CodingVnf::on_datagram(const netsim::Datagram& d) {
+  if (crashed_) {
+    // The process is dead; the bound port drops traffic on the floor.
+    if (m_crash_dropped_ != nullptr) m_crash_dropped_->inc();
+    return;
+  }
   auto pkt = coding::CodedPacket::parse(d.payload, cfg_.params, buffer_.pool());
   if (!pkt) return;  // not an NC packet for our parameters
   auto sit = sessions_.find(pkt->session);
@@ -114,12 +141,16 @@ void CodingVnf::on_datagram(const netsim::Datagram& d) {
   netsim::Simulator& sim = net_.sim();
   const netsim::Time start = std::max(sim.now(), lane.busy_until);
   lane.busy_until = start + service_time();
-  sim.schedule_at(lane.busy_until, [this, &lane, p = std::move(*pkt)]() mutable {
+  sim.schedule_at(lane.busy_until, [this, &lane, epoch = crash_epoch_,
+                                    p = std::move(*pkt)]() mutable {
     --lane.queued;
     --queued_total_;
     if (m_lane_backlog_ != nullptr) {
       m_lane_backlog_->set(static_cast<double>(queued_total_));
     }
+    // Work admitted before a crash died with the process, even if the
+    // function has since restarted.
+    if (crashed_ || epoch != crash_epoch_) return;
     if (paused_) {
       paused_backlog_.push_back(std::move(p));
     } else {

@@ -145,6 +145,16 @@ class CodingVnf {
   void resume();
   [[nodiscard]] bool paused() const { return paused_; }
 
+  /// Kill the coding process mid-flight: every buffered generation's
+  /// decoder/recoder state, credit ledger and queued work is lost, and
+  /// arrivals are dropped until restart(). Session/port configuration is
+  /// the daemon's (it re-pushes settings and tables on restart), so it
+  /// survives here.
+  void crash();
+  /// Cold restart after crash(): accepts traffic again with empty state.
+  void restart();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+
   void set_decode_sink(DecodeSink sink) { sink_ = std::move(sink); }
   /// Observe every processed packet (used by receivers for repair timers).
   void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
@@ -207,11 +217,16 @@ class CodingVnf {
   obs::Counter* m_recoded_ = nullptr;
   obs::Counter* m_proc_dropped_ = nullptr;
   obs::Counter* m_decoded_ = nullptr;
+  obs::Counter* m_crash_dropped_ = nullptr;
   obs::Gauge* m_lane_backlog_ = nullptr;  // packets queued across all lanes
   std::size_t queued_total_ = 0;
   std::map<coding::SessionId, SessionState> sessions_;
   std::vector<Lane> lanes_;
   bool paused_ = false;
+  bool crashed_ = false;
+  // Bumped on every crash: work admitted to a lane before the crash is
+  // discarded at service time even if the function restarted meanwhile.
+  std::uint64_t crash_epoch_ = 0;
   std::vector<coding::CodedPacket> paused_backlog_;
   DecodeSink sink_;
   PacketTap tap_;

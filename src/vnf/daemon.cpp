@@ -105,6 +105,33 @@ void VnfDaemon::apply_settings(const ctrl::NcSettings& s) {
   }
 }
 
+void VnfDaemon::refetch_table() {
+  for (const auto& [session, hops] : table_.entries()) {
+    std::vector<NextHopRate> rates;
+    rates.reserve(hops.size());
+    for (const ctrl::NextHop& h : hops) rates.push_back(NextHopRate{h, 1.0});
+    vnf_->set_next_hops(session, std::move(rates));
+  }
+}
+
+void VnfDaemon::crash(std::optional<double> restart_after_s) {
+  const double delay = restart_after_s.value_or(cfg_.vnf_start_s);
+  ++stats_.crashes;
+  if (obs_ != nullptr) obs_->metrics.counter("vnf.crashes").inc();
+  vnf_->crash();
+  running_ = false;
+  const std::uint64_t epoch = ++crash_epoch_;
+  net_.sim().schedule(delay, [this, epoch] {
+    if (crash_epoch_ != epoch) return;  // crashed again before this restart
+    vnf_->restart();
+    refetch_table();
+    running_ = true;
+    ++stats_.vnf_starts;
+    if (m_vnf_starts_ != nullptr) m_vnf_starts_->inc();
+    if (obs_ != nullptr) obs_->trace.signal(node_, "VNF_READY");
+  });
+}
+
 void VnfDaemon::apply_table(const ctrl::NcForwardTab& t) {
   // SIGUSR1: pause, load the table, resume. The apply cost scales with
   // the number of entries that actually changed (Table III).
@@ -151,6 +178,28 @@ void VnfDaemon::probe_round() {
     if (probe_report_) probe_report_(peer, bw, rtt);
   }
   net_.sim().schedule(probe_interval_s_, [this] { probe_round(); });
+}
+
+void VnfDaemon::start_heartbeats(netsim::NodeId controller, netsim::Port port,
+                                 double interval_s) {
+  hb_target_ = controller;
+  hb_port_ = port;
+  hb_interval_s_ = interval_s;
+  heartbeating_ = true;
+  net_.sim().schedule(hb_interval_s_, [this] { heartbeat_round(); });
+}
+
+void VnfDaemon::heartbeat_round() {
+  if (!heartbeating_) return;
+  netsim::Datagram d;
+  d.src = node_;
+  d.dst = hb_target_;
+  d.dst_port = hb_port_;
+  d.payload = net_.take_buffer();
+  const std::string text = "HB " + std::to_string(node_);
+  d.payload.assign(text.begin(), text.end());
+  net_.send(std::move(d));
+  net_.sim().schedule(hb_interval_s_, [this] { heartbeat_round(); });
 }
 
 }  // namespace ncfn::vnf

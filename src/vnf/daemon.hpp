@@ -42,6 +42,7 @@ struct DaemonStats {
   std::uint64_t vnf_starts = 0;
   std::uint64_t shutdowns = 0;
   std::uint64_t shutdowns_cancelled = 0;  // reuse within tau
+  std::uint64_t crashes = 0;
 };
 
 class VnfDaemon {
@@ -71,11 +72,28 @@ class VnfDaemon {
                     ProbeReport report);
   void stop_probes() { probing_ = false; }
 
+  /// Simulate a coding-process crash: the CodingVnf loses all buffered
+  /// state and drops traffic until the cold restart `restart_after_s`
+  /// later (default: the Sec. V.C.5 coding-function start latency,
+  /// cfg.vnf_start_s). On restart the daemon re-applies its cached
+  /// forwarding table — the table re-fetch of a cold start.
+  void crash(std::optional<double> restart_after_s = std::nullopt);
+
+  /// Periodic liveness beacon: a tiny "HB <node>" datagram to the
+  /// controller node's heartbeat port every `interval_s`. Heartbeats ride
+  /// the same simulated links as everything else, so a severed control
+  /// path starves the controller's liveness tracker.
+  void start_heartbeats(netsim::NodeId controller, netsim::Port port,
+                        double interval_s);
+  void stop_heartbeats() { heartbeating_ = false; }
+
  private:
   void on_control_datagram(const netsim::Datagram& d);
   void apply_settings(const ctrl::NcSettings& s);
   void apply_table(const ctrl::NcForwardTab& t);
+  void refetch_table();
   void probe_round();
+  void heartbeat_round();
 
   netsim::Network& net_;
   netsim::NodeId node_;
@@ -93,11 +111,17 @@ class VnfDaemon {
   bool running_ = true;
   std::uint64_t shutdown_epoch_ = 0;  // bump to cancel pending shutdowns
   bool shutdown_pending_ = false;
+  std::uint64_t crash_epoch_ = 0;  // a re-crash cancels the older restart
 
   bool probing_ = false;
   std::vector<netsim::NodeId> probe_peers_;
   double probe_interval_s_ = 600;
   ProbeReport probe_report_;
+
+  bool heartbeating_ = false;
+  netsim::NodeId hb_target_ = 0;
+  netsim::Port hb_port_ = 0;
+  double hb_interval_s_ = 1.0;
 };
 
 }  // namespace ncfn::vnf

@@ -129,11 +129,60 @@ TEST(Config, LoadScenarioReportsMissingFile) {
 TEST(Config, ShippedScenarioFilesParse) {
   // The repository's example scenario files must stay valid.
   for (const char* path : {"tools/scenarios/butterfly.ncfn",
-                           "tools/scenarios/two_sessions.ncfn"}) {
+                           "tools/scenarios/two_sessions.ncfn",
+                           "tools/scenarios/diamond_fault.ncfn"}) {
     ParseError err;
     const auto s = load_scenario(std::string(NCFN_SOURCE_DIR) + "/" + path,
                                  &err);
     EXPECT_TRUE(s.has_value())
         << path << ":" << err.line << ": " << err.message;
+  }
+}
+
+TEST(Config, ParsesFailAndCrashLines) {
+  const auto s = parse_scenario(
+      "node a dc cap=100\nnode b dc cap=100\nduplex a b 5 100\n"
+      "fail a b at=2 for=1.5\n"
+      "fail b a at=5\n"
+      "crash a at=3 for=0.5\n"
+      "crash b at=4\n");
+  ASSERT_TRUE(s.has_value());
+  ASSERT_EQ(s->failures.size(), 2u);
+  EXPECT_EQ(s->failures[0].from, s->nodes.at("a"));
+  EXPECT_EQ(s->failures[0].to, s->nodes.at("b"));
+  EXPECT_DOUBLE_EQ(s->failures[0].at_s, 2.0);
+  EXPECT_DOUBLE_EQ(s->failures[0].for_s, 1.5);
+  EXPECT_DOUBLE_EQ(s->failures[1].at_s, 5.0);
+  EXPECT_DOUBLE_EQ(s->failures[1].for_s, 0.0);  // stays down
+  ASSERT_EQ(s->crashes.size(), 2u);
+  EXPECT_EQ(s->crashes[0].node, s->nodes.at("a"));
+  EXPECT_DOUBLE_EQ(s->crashes[0].at_s, 3.0);
+  EXPECT_DOUBLE_EQ(s->crashes[0].for_s, 0.5);
+  EXPECT_DOUBLE_EQ(s->crashes[1].for_s, 0.0);  // default restart latency
+}
+
+TEST(Config, RejectsMalformedFailAndCrashLines) {
+  struct Case {
+    const char* text;
+    int line;
+  };
+  const char* preamble =
+      "node a dc cap=100\nnode b dc cap=100\nnode h host\nedge a b 5 100\n";
+  const Case cases[] = {
+      {"fail a b\n", 5},             // missing at=
+      {"fail a bogus at=1\n", 5},    // unknown node
+      {"fail b a at=1\n", 5},        // no such edge (a->b only)
+      {"fail a b at=-1\n", 5},       // negative time
+      {"fail a b at=1 zap=2\n", 5},  // unknown option
+      {"crash a\n", 5},              // missing at=
+      {"crash bogus at=1\n", 5},     // unknown node
+      {"crash h at=1\n", 5},         // host, not a data center
+      {"crash a at=1 for=-2\n", 5},  // negative duration
+  };
+  for (const Case& c : cases) {
+    ParseError err;
+    const std::string text = std::string(preamble) + c.text;
+    EXPECT_FALSE(parse_scenario(text, &err).has_value()) << c.text;
+    EXPECT_EQ(err.line, c.line) << c.text << " -> " << err.message;
   }
 }

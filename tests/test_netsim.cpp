@@ -299,6 +299,28 @@ TEST(Loss, GilbertElliottBadStateDropsMore) {
   EXPECT_NEAR(static_cast<double>(drops) / n, 0.10, 0.02);
 }
 
+TEST(Loss, GilbertElliottSamplesBeforeTransition) {
+  // Deterministic alternation (p_gb = p_bg = 1): the first packet must be
+  // sampled in the initial good state and survive; dropping it means the
+  // implementation transitioned before sampling.
+  std::mt19937 rng(1);
+  GilbertElliottLoss loss(1.0, 1.0, 0.0, 1.0);
+  EXPECT_FALSE(loss.drop(rng));  // good
+  EXPECT_TRUE(loss.drop(rng));   // bad
+  EXPECT_FALSE(loss.drop(rng));  // good again
+}
+
+TEST(Loss, GilbertElliottStationaryLossRate) {
+  // Stationary bad-state share = p_gb/(p_gb+p_bg) = 0.2; with a lossless
+  // good state the long-run loss rate is exactly 0.2 * loss_bad = 0.06.
+  std::mt19937 rng(17);
+  GilbertElliottLoss loss(0.02, 0.08, 0.0, 0.3);
+  int drops = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) drops += loss.drop(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.06, 0.006);
+}
+
 TEST(Network, LinkLossModelDropsPackets) {
   Network net = make_two_node_net(100e6, 0.0, /*queue=*/4096);
   net.link(0, 1)->set_loss_model(std::make_unique<UniformLoss>(0.5));

@@ -161,3 +161,31 @@ TEST(Quantize, LargerGenerationsNeedLessReduction) {
   const auto r16 = quantize_plan(fine, 16);
   EXPECT_LE(r16.rate_lost_mbps, r4.rate_lost_mbps + 1e-6);
 }
+
+TEST(Quantize, PathlessReceiverZerosSessionAndCountsIt) {
+  // A re-solve after a failure can leave a receiver with no surviving
+  // paths; no lambda > 0 reaches integrality for it, so the session is
+  // zeroed (not left streaming into a void) and counted as reduced.
+  DeploymentPlan plan;
+  plan.feasible = true;
+  plan.session_ids = {7};
+  plan.lambda_mbps = {10.0};
+  plan.path_rates.resize(1);
+  plan.path_rates[0].resize(2);
+  PathRate pr;
+  pr.rate_mbps = 10.0;
+  plan.path_rates[0][0].push_back(pr);  // receiver 0: one full-rate path
+  // receiver 1: no paths at all.
+  plan.edge_rate_mbps.resize(1);
+  plan.edge_rate_mbps[0][0] = 10.0;
+
+  const QuantizeResult result = quantize_plan(plan, 64);
+  EXPECT_EQ(result.sessions_reduced, 1);
+  EXPECT_NEAR(result.rate_lost_mbps, 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(plan.lambda_mbps[0], 0.0);
+  // Path and edge rates are snapped to the zeroed lambda.
+  for (const auto& paths : plan.path_rates[0]) {
+    for (const auto& p : paths) EXPECT_DOUBLE_EQ(p.rate_mbps, 0.0);
+  }
+  EXPECT_TRUE(plan.edge_rate_mbps[0].empty());
+}

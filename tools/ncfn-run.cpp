@@ -11,6 +11,11 @@
 // as JSON after the run; --trace-out enables the deterministic event
 // trace and writes it as JSONL — identical (scenario, seed, flags) runs
 // produce byte-identical files.
+//
+// Scenario `fail`/`crash` lines are honoured: a live controller watches
+// the topology, re-solves around each outage, and the affected sessions
+// are rewired onto the new plan mid-run (recovery latency lands in the
+// app.recovery_time_s histogram).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -20,6 +25,7 @@
 #include "app/config.hpp"
 #include "app/provider.hpp"
 #include "app/runtime.hpp"
+#include "ctrl/controller.hpp"
 #include "ctrl/problem.hpp"
 #include "netsim/loss.hpp"
 
@@ -98,6 +104,63 @@ int main(int argc, char** argv) {
       sessions[m]->receiver(k).set_verify(providers[m].get());
     }
   }
+  // ---- Failure injection (scenario `fail` / `crash` lines) ----
+  // A controller instance mirrors the deployment; on an outage it
+  // re-solves (frozen unaffected sessions) and the affected sessions are
+  // rewired live onto its new plan.
+  std::unique_ptr<ctrl::Controller> ctl;
+  if (!scenario->failures.empty() || !scenario->crashes.empty()) {
+    ctrl::Controller::Config ccfg;
+    ccfg.alpha = scenario->alpha;
+    ctl = std::make_unique<ctrl::Controller>(scenario->topo, ccfg);
+    ctl->set_obs(&sim.obs());
+    for (const auto& spec : scenario->sessions) {
+      ctl->add_session(spec, 0.0);
+    }
+    for (const app::LinkFailure& lf : scenario->failures) {
+      const graph::EdgeIdx e = scenario->topo.find_edge(lf.from, lf.to);
+      sim.net().sim().schedule_at(lf.at_s, [&, e] {
+        std::vector<std::size_t> affected;
+        for (std::size_t m = 0; m < sessions.size(); ++m) {
+          if (ctl->plan().edge_rate_mbps[m].count(e) > 0) affected.push_back(m);
+        }
+        sim.link(e)->set_up(false);
+        ctl->report_link_state(e, false, sim.net().sim().now());
+        for (std::size_t m : affected) sessions[m]->rewire(ctl->plan(), m);
+      });
+      if (lf.for_s > 0) {
+        sim.net().sim().schedule_at(lf.at_s + lf.for_s, [&, e] {
+          sim.link(e)->set_up(true);
+          ctl->report_link_state(e, true, sim.net().sim().now());
+          // Recovery unfreezes everything; rewire every session.
+          for (std::size_t m = 0; m < sessions.size(); ++m) {
+            sessions[m]->rewire(ctl->plan(), m);
+          }
+        });
+      }
+    }
+    for (const app::VnfCrash& c : scenario->crashes) {
+      sim.net().sim().schedule_at(c.at_s, [&, c] {
+        if (vnf::CodingVnf* v = sim.find_vnf(c.node)) v->crash();
+        for (std::size_t m = 0; m < sessions.size(); ++m) {
+          bool uses = false;
+          for (const auto& [e2, rate] : ctl->plan().edge_rate_mbps[m]) {
+            const auto& ei = scenario->topo.edge(e2);
+            uses = uses || ei.from == c.node || ei.to == c.node;
+          }
+          if (!uses) continue;
+          for (std::size_t k = 0; k < sessions[m]->receiver_count(); ++k) {
+            sessions[m]->receiver(k).mark_disruption();
+          }
+        }
+      });
+      const double restart_after = c.for_s > 0 ? c.for_s : 0.376;
+      sim.net().sim().schedule_at(c.at_s + restart_after, [&, c] {
+        if (vnf::CodingVnf* v = sim.find_vnf(c.node)) v->restart();
+      });
+    }
+  }
+
   for (auto& s : sessions) s->start();
   sim.net().sim().run_until(duration);
 
