@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "coding/byteview.hpp"
 #include "coding/types.hpp"
 
 namespace ncfn::app {
@@ -37,45 +38,33 @@ struct Feedback {
       std::span<const std::uint8_t> wire);
 };
 
+inline constexpr std::size_t kFeedbackWireBytes = 23;
+
 inline std::vector<std::uint8_t> Feedback::serialize() const {
-  std::vector<std::uint8_t> out(23);
-  out[0] = static_cast<std::uint8_t>(type);
-  auto put32 = [&](std::size_t at, std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      out[at + static_cast<std::size_t>(i)] =
-          static_cast<std::uint8_t>(v >> (24 - 8 * i));
-    }
-  };
-  put32(1, session);
-  put32(5, generation);
-  out[9] = static_cast<std::uint8_t>(count >> 8);
-  out[10] = static_cast<std::uint8_t>(count);
-  for (int i = 0; i < 8; ++i) {
-    out[11 + static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(block_mask >> (56 - 8 * i));
-  }
-  put32(19, receiver_node);
+  std::vector<std::uint8_t> out(kFeedbackWireBytes);
+  coding::ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(session);
+  w.u32(generation);
+  w.u16(count);
+  w.u64(block_mask);
+  w.u32(receiver_node);
   return out;
 }
 
 inline std::optional<Feedback> Feedback::parse(
     std::span<const std::uint8_t> wire) {
-  if (wire.size() != 23) return std::nullopt;
-  if (wire[0] != 1 && wire[0] != 2) return std::nullopt;
+  coding::ByteView v(wire);
   Feedback f;
-  f.type = static_cast<FeedbackType>(wire[0]);
-  auto get32 = [&](std::size_t at) {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v = (v << 8) | wire[at + static_cast<std::size_t>(i)];
-    }
-    return v;
-  };
-  f.session = get32(1);
-  f.generation = get32(5);
-  f.count = static_cast<std::uint16_t>((wire[9] << 8) | wire[10]);
-  for (int i = 0; i < 8; ++i) f.block_mask = (f.block_mask << 8) | wire[11 + static_cast<std::size_t>(i)];
-  f.receiver_node = get32(19);
+  const std::uint8_t type = v.u8();
+  if (type != 1 && type != 2) return std::nullopt;
+  f.type = static_cast<FeedbackType>(type);
+  f.session = v.u32();
+  f.generation = v.u32();
+  f.count = v.u16();
+  f.block_mask = v.u64();
+  f.receiver_node = v.u32();
+  if (!v.done()) return std::nullopt;  // short or oversize datagram
   return f;
 }
 

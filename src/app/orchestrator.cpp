@@ -7,7 +7,7 @@
 
 namespace ncfn::app {
 
-Orchestrator::Orchestrator(SimNet& sim, Config cfg)
+Orchestrator::Orchestrator(SimNet& sim, const Config& cfg)
     : sim_(sim), cfg_(cfg), ctl_(sim.topo(), cfg.controller) {
   ctl_.set_obs(&sim_.obs());
   netsim::Network& net = sim_.net();

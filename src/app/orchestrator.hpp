@@ -45,7 +45,7 @@ class Orchestrator {
   /// Builds daemons on every data center of `sim` and a controller node
   /// connected to all of them. The topology must be the one `sim` was
   /// built from.
-  Orchestrator(SimNet& sim, Config cfg);
+  Orchestrator(SimNet& sim, const Config& cfg);
   ~Orchestrator();
 
   Orchestrator(const Orchestrator&) = delete;

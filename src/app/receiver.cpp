@@ -6,7 +6,8 @@
 namespace ncfn::app {
 
 McReceiver::McReceiver(netsim::Network& net, netsim::NodeId node,
-                       const GenerationProvider& provider, ReceiverConfig cfg)
+                       const GenerationProvider& provider,
+                       const ReceiverConfig& cfg)
     : net_(net), node_(node), provider_(provider), cfg_(cfg) {
   if (obs::Observability* obs = net_.obs()) {
     m_generations_decoded_ = &obs->metrics.counter("app.generations_decoded");

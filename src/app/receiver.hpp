@@ -58,7 +58,8 @@ struct ThroughputSample {
 class McReceiver {
  public:
   McReceiver(netsim::Network& net, netsim::NodeId node,
-             const GenerationProvider& provider, ReceiverConfig cfg);
+             const GenerationProvider& provider,
+             const ReceiverConfig& cfg);
 
   McReceiver(const McReceiver&) = delete;
   McReceiver& operator=(const McReceiver&) = delete;

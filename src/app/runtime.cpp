@@ -1,15 +1,17 @@
 #include "app/runtime.hpp"
 
 #include "ctrl/quantize.hpp"
+#include "obs/audit.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <set>
+#include <string>
 
 namespace ncfn::app {
 
-SimNet::SimNet(const graph::Topology& topo, SimNetConfig cfg)
+SimNet::SimNet(const graph::Topology& topo, const SimNetConfig& cfg)
     : obs_(std::make_unique<obs::Observability>()),
       topo_(&topo),
       net_(cfg.seed) {
@@ -30,6 +32,34 @@ SimNet::SimNet(const graph::Topology& topo, SimNetConfig cfg)
     net_.add_link(static_cast<netsim::NodeId>(ei.from),
                   static_cast<netsim::NodeId>(ei.to), lc);
   }
+}
+
+SimNet::~SimNet() {
+  if (!obs::audit_enabled()) return;
+
+  // Keep a handle on each VNF's packet pool (cheap shared_ptr copies),
+  // destroy the VNFs — which releases every decoder pivot row — then
+  // check that nothing is still holding pool storage.
+  std::vector<std::pair<graph::NodeIdx, coding::PacketPool>> pools;
+  pools.reserve(vnfs_.size());
+  for (const auto& [node, vnf] : vnfs_) {
+    pools.emplace_back(node, vnf->buffer().pool());
+  }
+  vnfs_.clear();
+
+  std::vector<std::string> violations;
+  for (const auto& [node, pool] : pools) {
+    const std::uint64_t out = pool.stats().outstanding();
+    if (out != 0) {
+      violations.push_back("vnf node " + std::to_string(node) + ": " +
+                           std::to_string(out) +
+                           " pool row(s) never returned");
+    }
+  }
+  if (!violations.empty()) obs::audit_fail("PacketPool", violations);
+
+  const std::vector<std::string> link_violations = net_.audit_conservation();
+  if (!link_violations.empty()) obs::audit_fail("Network", link_violations);
 }
 
 netsim::Link* SimNet::link(graph::EdgeIdx e) {

@@ -39,7 +39,17 @@ struct SimNetConfig {
 /// (shared by all sessions relayed there).
 class SimNet {
  public:
-  explicit SimNet(const graph::Topology& topo, SimNetConfig cfg = {});
+  explicit SimNet(const graph::Topology& topo,
+                  const SimNetConfig& cfg = {});
+
+  /// Teardown audit (obs::audit_enabled()): every VNF packet-pool row
+  /// must come back once the VNFs are gone, and every link's packet
+  /// accounting must conserve (offered = delivered + dropped +
+  /// in-flight). Violations abort via obs::audit_fail.
+  ~SimNet();
+
+  SimNet(const SimNet&) = delete;
+  SimNet& operator=(const SimNet&) = delete;
 
   [[nodiscard]] netsim::Network& net() { return net_; }
   /// Observability hub shared by every layer of this simulated cloud.

@@ -12,7 +12,8 @@ constexpr std::size_t kEncoderCacheLimit = 8;
 }
 
 McSource::McSource(netsim::Network& net, netsim::NodeId node,
-                   const GenerationProvider& provider, SourceConfig cfg)
+                   const GenerationProvider& provider,
+                   const SourceConfig& cfg)
     : net_(net), node_(node), provider_(provider), cfg_(cfg), rng_(cfg.seed) {
   if (obs::Observability* obs = net_.obs()) {
     m_packets_sent_ = &obs->metrics.counter("app.packets_sent");

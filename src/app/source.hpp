@@ -58,7 +58,7 @@ struct SourceStats {
 class McSource {
  public:
   McSource(netsim::Network& net, netsim::NodeId node,
-           const GenerationProvider& provider, SourceConfig cfg);
+           const GenerationProvider& provider, const SourceConfig& cfg);
   ~McSource();
 
   McSource(const McSource&) = delete;

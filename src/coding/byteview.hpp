@@ -1,0 +1,176 @@
+// Bounds-checked byte views — the one approved window onto raw packet
+// memory.
+//
+// Every wire format in this repo (NC header, feedback messages, TCP
+// probe sequence numbers) is big-endian and fixed-layout. Historically
+// each site hand-rolled its shifts and memcpys; under attacker-shaped
+// input those are exactly the places an NFV data plane goes memory-
+// unsafe. ByteView / ByteWriter centralize the raw access:
+//
+//   * all multi-byte integers are assembled from individual bytes
+//     (shift-and-or), so there are no misaligned loads and no
+//     endianness assumptions — clean under -fsanitize=undefined,
+//     integer,implicit-conversion;
+//   * every read/write is bounds-checked against the underlying span.
+//     Overrun makes the cursor *sticky-fail*: the access is suppressed,
+//     reads return 0, and ok() reports false. Parsers check ok() once
+//     at the end instead of guarding every field;
+//   * the only memcpy lives in copy_bytes() below, behind a size check.
+//
+// ncfn-lint enforces the contract: raw memcpy/reinterpret_cast outside
+// this header is a lint error (rule `raw-bytes`), so new serialization
+// code has to route through these views or carry a justified per-line
+// allow() annotation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace ncfn::coding {
+
+/// Size-checked span copy: the data-plane replacement for raw memcpy.
+/// Copies min(dst.size(), src.size()) == src.size() bytes only when the
+/// destination is large enough; returns false (copying nothing) on
+/// mismatch instead of overrunning.
+inline bool copy_bytes(std::span<std::uint8_t> dst,
+                       std::span<const std::uint8_t> src) noexcept {
+  if (src.size() > dst.size()) return false;
+  if (!src.empty()) std::memcpy(dst.data(), src.data(), src.size());
+  return true;
+}
+
+/// Sticky-fail big-endian reader over a const byte span.
+class ByteView {
+ public:
+  explicit ByteView(std::span<const std::uint8_t> bytes) noexcept
+      : bytes_(bytes) {}
+
+  /// All accesses so far were in bounds.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// In-bounds AND fully consumed — the usual end-of-parse check.
+  [[nodiscard]] bool done() const noexcept {
+    return ok_ && at_ == bytes_.size();
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - at_;
+  }
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    if (!take(1)) return 0;
+    return bytes_[at_++];
+  }
+
+  [[nodiscard]] std::uint16_t u16() noexcept {
+    if (!take(2)) return 0;
+    const auto v = static_cast<std::uint16_t>(
+        (static_cast<std::uint32_t>(bytes_[at_]) << 8) |
+        static_cast<std::uint32_t>(bytes_[at_ + 1]));
+    at_ += 2;
+    return v;
+  }
+
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v = (v << 8) | static_cast<std::uint32_t>(bytes_[at_ + i]);
+    }
+    at_ += 4;
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() noexcept {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v = (v << 8) | static_cast<std::uint64_t>(bytes_[at_ + i]);
+    }
+    at_ += 8;
+    return v;
+  }
+
+  /// View of the next n bytes (empty span + fail when short).
+  [[nodiscard]] std::span<const std::uint8_t> view(std::size_t n) noexcept {
+    if (!take(n)) return {};
+    const auto s = bytes_.subspan(at_, n);
+    at_ += n;
+    return s;
+  }
+
+  /// Copy the next dst.size() bytes out.
+  bool bytes(std::span<std::uint8_t> dst) noexcept {
+    return copy_bytes(dst, view(dst.size()));
+  }
+
+ private:
+  bool take(std::size_t n) noexcept {
+    if (!ok_ || n > bytes_.size() - at_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+/// Sticky-fail big-endian writer over a caller-sized mutable span.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::span<std::uint8_t> out) noexcept : out_(out) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// In-bounds AND every byte of the span written — serializers assert
+  /// this to catch layout/size drift.
+  [[nodiscard]] bool done() const noexcept { return ok_ && at_ == out_.size(); }
+  [[nodiscard]] std::size_t written() const noexcept { return at_; }
+
+  void u8(std::uint8_t v) noexcept {
+    if (!take(1)) return;
+    out_[at_++] = v;
+  }
+
+  void u16(std::uint16_t v) noexcept {
+    if (!take(2)) return;
+    out_[at_++] = static_cast<std::uint8_t>(v >> 8);
+    out_[at_++] = static_cast<std::uint8_t>(v);
+  }
+
+  void u32(std::uint32_t v) noexcept {
+    if (!take(4)) return;
+    for (int i = 3; i >= 0; --i) {
+      out_[at_++] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+  void u64(std::uint64_t v) noexcept {
+    if (!take(8)) return;
+    for (int i = 7; i >= 0; --i) {
+      out_[at_++] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+  void bytes(std::span<const std::uint8_t> src) noexcept {
+    if (!take(src.size())) return;
+    copy_bytes(out_.subspan(at_, src.size()), src);
+    at_ += src.size();
+  }
+
+ private:
+  bool take(std::size_t n) noexcept {
+    if (!ok_ || n > out_.size() - at_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<std::uint8_t> out_;
+  std::size_t at_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ncfn::coding

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstring>
 
+#include "coding/byteview.hpp"
 #include "coding/rng_fill.hpp"
 #include "gf/gf256.hpp"
 
@@ -42,7 +42,7 @@ bool Decoder::add(const CodedPacket& pkt) {
   row.session = session_;
   row.generation = generation_;
   row.acquire(g_, block_size_, pool_);
-  std::memcpy(row.row().data(), pkt.row().data(), pkt.row().size());
+  copy_bytes(row.row(), pkt.row());
 
   // Forward-eliminate against existing pivots.
   for (std::size_t c = 0; c < g_; ++c) {

@@ -2,24 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstring>
+
+#include "coding/byteview.hpp"
 
 namespace ncfn::coding {
-
-namespace {
-void put_u32(std::uint8_t* out, std::uint32_t v) {
-  out[0] = static_cast<std::uint8_t>(v >> 24);
-  out[1] = static_cast<std::uint8_t>(v >> 16);
-  out[2] = static_cast<std::uint8_t>(v >> 8);
-  out[3] = static_cast<std::uint8_t>(v);
-}
-std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
-  return (static_cast<std::uint32_t>(in[at]) << 24) |
-         (static_cast<std::uint32_t>(in[at + 1]) << 16) |
-         (static_cast<std::uint32_t>(in[at + 2]) << 8) |
-         static_cast<std::uint32_t>(in[at + 3]);
-}
-}  // namespace
 
 void CodedPacket::acquire(std::size_t g, std::size_t payload_bytes,
                           const PacketPool& pool) {
@@ -48,21 +34,24 @@ std::vector<std::uint8_t> CodedPacket::serialize() const {
 
 void CodedPacket::serialize_into(std::vector<std::uint8_t>& out) const {
   out.resize(wire_size());
-  put_u32(out.data(), session);
-  put_u32(out.data() + 4, generation);
+  ByteWriter w(out);
+  w.u32(session);
+  w.u32(generation);
   // Coeffs + payload are contiguous: one copy covers both.
-  if (!buf_.empty()) std::memcpy(out.data() + 8, buf_.data(), buf_.size());
+  w.bytes(buf_.span());
+  assert(w.done());
 }
 
 std::optional<CodedPacket> CodedPacket::parse(
     std::span<const std::uint8_t> wire, const CodingParams& params,
     const PacketPool& pool) {
   if (wire.size() != params.packet_bytes()) return std::nullopt;
+  ByteView v(wire);
   CodedPacket pkt;
-  pkt.session = get_u32(wire, 0);
-  pkt.generation = get_u32(wire, 4);
+  pkt.session = v.u32();
+  pkt.generation = v.u32();
   pkt.acquire(params.generation_blocks, params.block_size, pool);
-  std::memcpy(pkt.buf_.data(), wire.data() + 8, wire.size() - 8);
+  if (!v.bytes(pkt.buf_.span()) || !v.done()) return std::nullopt;
   return pkt;
 }
 

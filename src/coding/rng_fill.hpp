@@ -15,15 +15,17 @@ namespace ncfn::coding::detail {
 inline void fill_random_bytes(std::span<std::uint8_t> out,
                               std::mt19937& rng) {
   std::size_t i = 0;
+  // mt19937 yields exactly 32 value bits, but its result_type is
+  // uint_fast32_t (64-bit here) — narrow explicitly.
   for (; i + 4 <= out.size(); i += 4) {
-    const std::uint32_t w = rng();
+    const auto w = static_cast<std::uint32_t>(rng());
     out[i] = static_cast<std::uint8_t>(w);
     out[i + 1] = static_cast<std::uint8_t>(w >> 8);
     out[i + 2] = static_cast<std::uint8_t>(w >> 16);
     out[i + 3] = static_cast<std::uint8_t>(w >> 24);
   }
   if (i < out.size()) {
-    std::uint32_t w = rng();
+    auto w = static_cast<std::uint32_t>(rng());
     for (; i < out.size(); ++i) {
       out[i] = static_cast<std::uint8_t>(w);
       w >>= 8;

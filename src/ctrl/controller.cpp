@@ -15,7 +15,7 @@ bool changed_by_more_than(double old_v, double new_v, double rho) {
 }
 }  // namespace
 
-Controller::Controller(graph::Topology topo, Config cfg)
+Controller::Controller(graph::Topology topo, const Config& cfg)
     : topo_(std::move(topo)), cfg_(cfg) {
   for (graph::NodeIdx v : topo_.data_centers()) pools_[v];  // default pools
 }

@@ -67,7 +67,7 @@ class Controller {
     Signal signal;
   };
 
-  Controller(graph::Topology topo, Config cfg);
+  Controller(graph::Topology topo, const Config& cfg);
 
   // ---- Session management (Alg. 3) ----
   /// SESSION JOIN. Returns false if the session could not be admitted

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 namespace ncfn::ctrl {
 
@@ -9,8 +10,13 @@ namespace {
 constexpr double kEps = 1e-9;
 
 /// Packets per generation path p delivers at session rate lambda.
-int per_gen_count(double rate_mbps, double lambda_mbps, std::size_t g) {
-  return static_cast<int>(
+/// Computed and returned in 64 bits: a plain int cast of the double
+/// product narrows, and (with a tiny lambda) can overflow int — which
+/// float-cast-overflow UBSan rightly rejects. The floored value is an
+/// exact integer, so llround converts it losslessly.
+std::int64_t per_gen_count(double rate_mbps, double lambda_mbps,
+                           std::size_t g) {
+  return std::llround(
       std::floor(static_cast<double>(g) * rate_mbps / lambda_mbps + kEps));
 }
 
@@ -18,11 +24,11 @@ int per_gen_count(double rate_mbps, double lambda_mbps, std::size_t g) {
 bool integral_at(const std::vector<std::vector<PathRate>>& receivers,
                  double lambda_mbps, std::size_t g) {
   for (const auto& paths : receivers) {
-    int total = 0;
+    std::int64_t total = 0;
     for (const PathRate& pr : paths) {
       total += per_gen_count(pr.rate_mbps, lambda_mbps, g);
     }
-    if (total < static_cast<int>(g)) return false;
+    if (total < static_cast<std::int64_t>(g)) return false;
   }
   return true;
 }
@@ -62,10 +68,10 @@ QuantizeResult quantize_plan(DeploymentPlan& plan,
     // Snap path rates to whole per-generation packet counts at lambda_q.
     for (auto& paths : receivers) {
       for (PathRate& pr : paths) {
-        const int n = lambda_q > kEps
-                          ? per_gen_count(pr.rate_mbps, lambda_q,
-                                          generation_blocks)
-                          : 0;
+        const std::int64_t n =
+            lambda_q > kEps
+                ? per_gen_count(pr.rate_mbps, lambda_q, generation_blocks)
+                : 0;
         pr.rate_mbps = static_cast<double>(n) * lambda_q / g;
       }
     }

@@ -4,6 +4,8 @@
 // semantics the nibble lookup needs. Compiled with -mavx2; the runtime
 // CPU probe in avx2_table() keeps the dispatcher honest on older
 // hardware. Sub-32-byte tails take one SSE step then the scalar row walk.
+// All memory access goes through the load/store helpers in
+// gf256_kernels.hpp.
 #include "gf/gf256_kernels.hpp"
 
 #if defined(__AVX2__)
@@ -29,8 +31,7 @@ bool cpu_has_avx2() noexcept {
 
 /// Load a 16-byte nibble table and broadcast it to both ymm lanes.
 inline __m256i load_tab(const std::uint8_t* tab16) {
-  return _mm256_broadcastsi128_si256(
-      _mm_load_si128(reinterpret_cast<const __m128i*>(tab16)));
+  return _mm256_broadcastsi128_si256(load_table_128(tab16));
 }
 
 void muladd_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
@@ -44,49 +45,37 @@ void muladd_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
   // Two independent 32-byte streams per iteration hide the
   // shuffle->xor->store latency chain on long buffers.
   for (; i + 64 <= n; i += 64) {
-    const __m256i s0 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    const __m256i s1 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
-    const __m256i d0 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
-    const __m256i d1 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    const __m256i s0 = load_u256(src + i);
+    const __m256i s1 = load_u256(src + i + 32);
+    const __m256i d0 = load_u256(dst + i);
+    const __m256i d1 = load_u256(dst + i + 32);
     const __m256i lo0 = _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s0, mask));
     const __m256i lo1 = _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s1, mask));
     const __m256i hi0 = _mm256_shuffle_epi8(
         hi_tab, _mm256_and_si256(_mm256_srli_epi64(s0, 4), mask));
     const __m256i hi1 = _mm256_shuffle_epi8(
         hi_tab, _mm256_and_si256(_mm256_srli_epi64(s1, 4), mask));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_xor_si256(d0, _mm256_xor_si256(lo0, hi0)));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
-                        _mm256_xor_si256(d1, _mm256_xor_si256(lo1, hi1)));
+    store_u256(dst + i, _mm256_xor_si256(d0, _mm256_xor_si256(lo0, hi0)));
+    store_u256(dst + i + 32, _mm256_xor_si256(d1, _mm256_xor_si256(lo1, hi1)));
   }
   for (; i + 32 <= n; i += 32) {
-    const __m256i s =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    const __m256i d =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s = load_u256(src + i);
+    const __m256i d = load_u256(dst + i);
     const __m256i lo = _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(s, mask));
     const __m256i hi = _mm256_shuffle_epi8(
         hi_tab, _mm256_and_si256(_mm256_srli_epi64(s, 4), mask));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_xor_si256(d, _mm256_xor_si256(lo, hi)));
+    store_u256(dst + i, _mm256_xor_si256(d, _mm256_xor_si256(lo, hi)));
   }
   if (i + 16 <= n) {
     const __m128i lo128 = _mm256_castsi256_si128(lo_tab);
     const __m128i hi128 = _mm256_castsi256_si128(hi_tab);
     const __m128i m128 = _mm_set1_epi8(0x0F);
-    const __m128i s =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    const __m128i d =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s = load_u128(src + i);
+    const __m128i d = load_u128(dst + i);
     const __m128i lo = _mm_shuffle_epi8(lo128, _mm_and_si128(s, m128));
     const __m128i hi =
         _mm_shuffle_epi8(hi128, _mm_and_si128(_mm_srli_epi64(s, 4), m128));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
-                     _mm_xor_si128(d, _mm_xor_si128(lo, hi)));
+    store_u128(dst + i, _mm_xor_si128(d, _mm_xor_si128(lo, hi)));
     i += 16;
   }
   if (i < n) scalar_table()->muladd(dst + i, src + i, n - i, c);
@@ -100,13 +89,11 @@ void mul_avx2(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
 
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
-    const __m256i d =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d = load_u256(dst + i);
     const __m256i lo = _mm256_shuffle_epi8(lo_tab, _mm256_and_si256(d, mask));
     const __m256i hi = _mm256_shuffle_epi8(
         hi_tab, _mm256_and_si256(_mm256_srli_epi64(d, 4), mask));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_xor_si256(lo, hi));
+    store_u256(dst + i, _mm256_xor_si256(lo, hi));
   }
   if (i < n) scalar_table()->mul(dst + i, n - i, c);
 }
@@ -114,12 +101,9 @@ void mul_avx2(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
 void xor_avx2(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
-    const __m256i s =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    const __m256i d =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_xor_si256(d, s));
+    const __m256i s = load_u256(src + i);
+    const __m256i d = load_u256(dst + i);
+    store_u256(dst + i, _mm256_xor_si256(d, s));
   }
   if (i < n) scalar_table()->bxor(dst + i, src + i, n - i);
 }
@@ -138,12 +122,10 @@ void muladd_x4_avx2(std::uint8_t* dst, const std::uint8_t* const src[4],
   // Two accumulators per source row split the eight-xor dependency chain
   // in half; they fold together once per 32-byte block.
   for (; i + 32 <= n; i += 32) {
-    __m256i acc0 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i acc0 = load_u256(dst + i);
     __m256i acc1 = _mm256_setzero_si256();
     for (int j = 0; j < 4; ++j) {
-      const __m256i s =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src[j] + i));
+      const __m256i s = load_u256(src[j] + i);
       acc0 = _mm256_xor_si256(
           acc0, _mm256_shuffle_epi8(lo_tab[j], _mm256_and_si256(s, mask)));
       acc1 = _mm256_xor_si256(
@@ -151,15 +133,13 @@ void muladd_x4_avx2(std::uint8_t* dst, const std::uint8_t* const src[4],
                     hi_tab[j],
                     _mm256_and_si256(_mm256_srli_epi64(s, 4), mask)));
     }
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_xor_si256(acc0, acc1));
+    store_u256(dst + i, _mm256_xor_si256(acc0, acc1));
   }
   if (i + 16 <= n) {
     const __m128i m128 = _mm_set1_epi8(0x0F);
-    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i acc = load_u128(dst + i);
     for (int j = 0; j < 4; ++j) {
-      const __m128i s =
-          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src[j] + i));
+      const __m128i s = load_u128(src[j] + i);
       acc = _mm_xor_si128(
           acc, _mm_shuffle_epi8(_mm256_castsi256_si128(lo_tab[j]),
                                 _mm_and_si128(s, m128)));
@@ -167,7 +147,7 @@ void muladd_x4_avx2(std::uint8_t* dst, const std::uint8_t* const src[4],
           acc, _mm_shuffle_epi8(_mm256_castsi256_si128(hi_tab[j]),
                                 _mm_and_si128(_mm_srli_epi64(s, 4), m128)));
     }
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+    store_u128(dst + i, acc);
     i += 16;
   }
   if (i < n) {

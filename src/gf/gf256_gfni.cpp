@@ -4,7 +4,8 @@
 // matrix packs the products c*2^k column-wise, and a single
 // vgf2p8affineqb replaces the two shuffles + masking of the nibble path.
 // Compiled with -mavx2 -mgfni; the runtime probe in gfni_table() keeps
-// the dispatcher honest on hardware without GFNI.
+// the dispatcher honest on hardware without GFNI. All memory access goes
+// through the load/store helpers in gf256_kernels.hpp.
 //
 // Note: GF2P8AFFINEQB's sibling GF2P8MULB multiplies in the AES field
 // (poly 0x11B), not ours (0x11D) — the affine form works for any poly
@@ -70,39 +71,27 @@ void muladd_gfni(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
   // Two independent 32-byte streams per iteration hide the
   // affine->xor->store latency chain on long buffers.
   for (; i + 64 <= n; i += 64) {
-    const __m256i s0 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    const __m256i s1 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
-    const __m256i d0 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
-    const __m256i d1 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
-    _mm256_storeu_si256(
-        reinterpret_cast<__m256i*>(dst + i),
-        _mm256_xor_si256(d0, _mm256_gf2p8affine_epi64_epi8(s0, A, 0)));
-    _mm256_storeu_si256(
-        reinterpret_cast<__m256i*>(dst + i + 32),
-        _mm256_xor_si256(d1, _mm256_gf2p8affine_epi64_epi8(s1, A, 0)));
+    const __m256i s0 = load_u256(src + i);
+    const __m256i s1 = load_u256(src + i + 32);
+    const __m256i d0 = load_u256(dst + i);
+    const __m256i d1 = load_u256(dst + i + 32);
+    store_u256(dst + i,
+               _mm256_xor_si256(d0, _mm256_gf2p8affine_epi64_epi8(s0, A, 0)));
+    store_u256(dst + i + 32,
+               _mm256_xor_si256(d1, _mm256_gf2p8affine_epi64_epi8(s1, A, 0)));
   }
   for (; i + 32 <= n; i += 32) {
-    const __m256i s =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    const __m256i d =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
-    _mm256_storeu_si256(
-        reinterpret_cast<__m256i*>(dst + i),
-        _mm256_xor_si256(d, _mm256_gf2p8affine_epi64_epi8(s, A, 0)));
+    const __m256i s = load_u256(src + i);
+    const __m256i d = load_u256(dst + i);
+    store_u256(dst + i,
+               _mm256_xor_si256(d, _mm256_gf2p8affine_epi64_epi8(s, A, 0)));
   }
   if (i + 16 <= n) {
     const __m128i A128 = _mm256_castsi256_si128(A);
-    const __m128i s =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    const __m128i d =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
-    _mm_storeu_si128(
-        reinterpret_cast<__m128i*>(dst + i),
-        _mm_xor_si128(d, _mm_gf2p8affine_epi64_epi8(s, A128, 0)));
+    const __m128i s = load_u128(src + i);
+    const __m128i d = load_u128(dst + i);
+    store_u128(dst + i,
+               _mm_xor_si128(d, _mm_gf2p8affine_epi64_epi8(s, A128, 0)));
     i += 16;
   }
   if (i < n) scalar_table()->muladd(dst + i, src + i, n - i, c);
@@ -114,10 +103,8 @@ void mul_gfni(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
 
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
-    const __m256i d =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_gf2p8affine_epi64_epi8(d, A, 0));
+    const __m256i d = load_u256(dst + i);
+    store_u256(dst + i, _mm256_gf2p8affine_epi64_epi8(d, A, 0));
   }
   if (i < n) scalar_table()->mul(dst + i, n - i, c);
 }
@@ -125,12 +112,9 @@ void mul_gfni(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
 void xor_gfni(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
   std::size_t i = 0;
   for (; i + 32 <= n; i += 32) {
-    const __m256i s =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
-    const __m256i d =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_xor_si256(d, s));
+    const __m256i s = load_u256(src + i);
+    const __m256i d = load_u256(dst + i);
+    store_u256(dst + i, _mm256_xor_si256(d, s));
   }
   if (i < n) scalar_table()->bxor(dst + i, src + i, n - i);
 }
@@ -147,30 +131,25 @@ void muladd_x4_gfni(std::uint8_t* dst, const std::uint8_t* const src[4],
   // Two accumulators split the four-xor dependency chain in half; they
   // fold together once per 32-byte block.
   for (; i + 32 <= n; i += 32) {
-    __m256i acc0 =
-        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i acc0 = load_u256(dst + i);
     __m256i acc1 = _mm256_setzero_si256();
     for (int j = 0; j < 4; j += 2) {
-      const __m256i s0 =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src[j] + i));
-      const __m256i s1 =
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src[j + 1] + i));
+      const __m256i s0 = load_u256(src[j] + i);
+      const __m256i s1 = load_u256(src[j + 1] + i);
       acc0 = _mm256_xor_si256(acc0, _mm256_gf2p8affine_epi64_epi8(s0, A[j], 0));
       acc1 =
           _mm256_xor_si256(acc1, _mm256_gf2p8affine_epi64_epi8(s1, A[j + 1], 0));
     }
-    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
-                        _mm256_xor_si256(acc0, acc1));
+    store_u256(dst + i, _mm256_xor_si256(acc0, acc1));
   }
   if (i + 16 <= n) {
-    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i acc = load_u128(dst + i);
     for (int j = 0; j < 4; ++j) {
-      const __m128i s =
-          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src[j] + i));
+      const __m128i s = load_u128(src[j] + i);
       acc = _mm_xor_si128(
           acc, _mm_gf2p8affine_epi64_epi8(s, _mm256_castsi256_si128(A[j]), 0));
     }
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), acc);
+    store_u128(dst + i, acc);
     i += 16;
   }
   if (i < n) {

@@ -1,11 +1,62 @@
-// Internal: per-tier kernel tables and the shared PSHUFB nibble product
-// tables. Included only by the gf256_* kernel translation units and the
-// dispatcher — the public surface is gf256.hpp / gf256_simd.hpp.
+// Internal: per-tier kernel tables, the shared PSHUFB nibble product
+// tables, and the vector load/store helpers. Included only by the
+// gf256_* kernel translation units and the dispatcher — the public
+// surface is gf256.hpp / gf256_simd.hpp.
 #pragma once
 
 #include "gf/gf256_simd.hpp"
 
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
 namespace ncfn::gf::simd::detail {
+
+// ---- Vector memory access -------------------------------------------
+//
+// The kernels' single sanctioned window onto raw packet memory. Every
+// tier routes its loads/stores through these helpers instead of casting
+// pointers inline, so the intrinsic pointer-cast idiom lives on exactly
+// the annotated lines below and nowhere else (ncfn-lint rule
+// `raw-bytes`). The *_u128/u256 forms are unaligned — _mm_loadu /
+// _mm256_loadu are defined for any alignment, so arbitrary packet-row
+// offsets are safe under -fsanitize=alignment. load_table_128 is the
+// one aligned load: its operand is always a 16-byte row of the
+// alignas(16) NibbleTables.
+
+#if defined(__SSE2__)
+
+inline __m128i load_u128(const std::uint8_t* p) noexcept {
+  // ncfn-lint: allow(raw-bytes) — unaligned vector load; _mm_loadu_si128 permits any alignment
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+inline void store_u128(std::uint8_t* p, __m128i v) noexcept {
+  // ncfn-lint: allow(raw-bytes) — unaligned vector store; _mm_storeu_si128 permits any alignment
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+/// Aligned 16-byte table-row load; `tab16` must be a NibbleTables row.
+inline __m128i load_table_128(const std::uint8_t* tab16) noexcept {
+  // ncfn-lint: allow(raw-bytes) — aligned load of an alignas(16) nibble-table row
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(tab16));
+}
+
+#endif  // __SSE2__
+
+#if defined(__AVX2__)
+
+inline __m256i load_u256(const std::uint8_t* p) noexcept {
+  // ncfn-lint: allow(raw-bytes) — unaligned vector load; _mm256_loadu_si256 permits any alignment
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store_u256(std::uint8_t* p, __m256i v) noexcept {
+  // ncfn-lint: allow(raw-bytes) — unaligned vector store; _mm256_storeu_si256 permits any alignment
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+#endif  // __AVX2__
 
 /// Per-coefficient nibble product tables: lo[c][x] = c * x,
 /// hi[c][x] = c * (x << 4), each 16 bytes — PSHUFB/VPSHUFB operands.

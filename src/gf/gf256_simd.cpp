@@ -1,7 +1,8 @@
 // SSSE3 tier: PSHUFB nibble-table kernels, 16 bytes per shuffle. This
 // translation unit is compiled with -mssse3; the runtime CPU probe in
 // ssse3_table() keeps the dispatcher from ever selecting it on hardware
-// that can't run it.
+// that can't run it. All memory access goes through the load/store
+// helpers in gf256_kernels.hpp.
 #include "gf/gf256_kernels.hpp"
 
 #if defined(__SSSE3__)
@@ -28,66 +29,51 @@ bool cpu_has_ssse3() noexcept {
 void muladd_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
                   std::uint8_t c) {
   const NibbleTables& nt = nibble_tables();
-  const __m128i lo_tab =
-      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
-  const __m128i hi_tab =
-      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c]));
+  const __m128i lo_tab = load_table_128(nt.lo[c]);
+  const __m128i hi_tab = load_table_128(nt.hi[c]);
   const __m128i mask = _mm_set1_epi8(0x0F);
 
   std::size_t i = 0;
   // Two independent 16-byte streams per iteration hide the
   // shuffle->xor->store latency chain on long buffers.
   for (; i + 32 <= n; i += 32) {
-    const __m128i s0 =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    const __m128i s1 =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
-    const __m128i d0 =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
-    const __m128i d1 =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + 16));
+    const __m128i s0 = load_u128(src + i);
+    const __m128i s1 = load_u128(src + i + 16);
+    const __m128i d0 = load_u128(dst + i);
+    const __m128i d1 = load_u128(dst + i + 16);
     const __m128i lo0 = _mm_shuffle_epi8(lo_tab, _mm_and_si128(s0, mask));
     const __m128i lo1 = _mm_shuffle_epi8(lo_tab, _mm_and_si128(s1, mask));
     const __m128i hi0 =
         _mm_shuffle_epi8(hi_tab, _mm_and_si128(_mm_srli_epi64(s0, 4), mask));
     const __m128i hi1 =
         _mm_shuffle_epi8(hi_tab, _mm_and_si128(_mm_srli_epi64(s1, 4), mask));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
-                     _mm_xor_si128(d0, _mm_xor_si128(lo0, hi0)));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16),
-                     _mm_xor_si128(d1, _mm_xor_si128(lo1, hi1)));
+    store_u128(dst + i, _mm_xor_si128(d0, _mm_xor_si128(lo0, hi0)));
+    store_u128(dst + i + 16, _mm_xor_si128(d1, _mm_xor_si128(lo1, hi1)));
   }
   for (; i + 16 <= n; i += 16) {
-    const __m128i s =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    const __m128i d =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s = load_u128(src + i);
+    const __m128i d = load_u128(dst + i);
     const __m128i lo = _mm_shuffle_epi8(lo_tab, _mm_and_si128(s, mask));
     const __m128i hi =
         _mm_shuffle_epi8(hi_tab, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
-                     _mm_xor_si128(d, _mm_xor_si128(lo, hi)));
+    store_u128(dst + i, _mm_xor_si128(d, _mm_xor_si128(lo, hi)));
   }
   if (i < n) scalar_table()->muladd(dst + i, src + i, n - i, c);
 }
 
 void mul_ssse3(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
   const NibbleTables& nt = nibble_tables();
-  const __m128i lo_tab =
-      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c]));
-  const __m128i hi_tab =
-      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c]));
+  const __m128i lo_tab = load_table_128(nt.lo[c]);
+  const __m128i hi_tab = load_table_128(nt.hi[c]);
   const __m128i mask = _mm_set1_epi8(0x0F);
 
   std::size_t i = 0;
   for (; i + 16 <= n; i += 16) {
-    const __m128i d =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i d = load_u128(dst + i);
     const __m128i lo = _mm_shuffle_epi8(lo_tab, _mm_and_si128(d, mask));
     const __m128i hi =
         _mm_shuffle_epi8(hi_tab, _mm_and_si128(_mm_srli_epi64(d, 4), mask));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
-                     _mm_xor_si128(lo, hi));
+    store_u128(dst + i, _mm_xor_si128(lo, hi));
   }
   if (i < n) scalar_table()->mul(dst + i, n - i, c);
 }
@@ -95,12 +81,9 @@ void mul_ssse3(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
 void xor_ssse3(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
   std::size_t i = 0;
   for (; i + 16 <= n; i += 16) {
-    const __m128i s =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    const __m128i d =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
-                     _mm_xor_si128(d, s));
+    const __m128i s = load_u128(src + i);
+    const __m128i d = load_u128(dst + i);
+    store_u128(dst + i, _mm_xor_si128(d, s));
   }
   if (i < n) scalar_table()->bxor(dst + i, src + i, n - i);
 }
@@ -110,8 +93,8 @@ void muladd_x4_ssse3(std::uint8_t* dst, const std::uint8_t* const src[4],
   const NibbleTables& nt = nibble_tables();
   __m128i lo_tab[4], hi_tab[4];
   for (int j = 0; j < 4; ++j) {
-    lo_tab[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c[j]]));
-    hi_tab[j] = _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c[j]]));
+    lo_tab[j] = load_table_128(nt.lo[c[j]]);
+    hi_tab[j] = load_table_128(nt.hi[c[j]]);
   }
   const __m128i mask = _mm_set1_epi8(0x0F);
 
@@ -119,19 +102,17 @@ void muladd_x4_ssse3(std::uint8_t* dst, const std::uint8_t* const src[4],
   // Two accumulators per source row split the eight-xor dependency chain
   // in half; they fold together once per 16-byte block.
   for (; i + 16 <= n; i += 16) {
-    __m128i acc0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i acc0 = load_u128(dst + i);
     __m128i acc1 = _mm_setzero_si128();
     for (int j = 0; j < 4; ++j) {
-      const __m128i s =
-          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src[j] + i));
+      const __m128i s = load_u128(src[j] + i);
       acc0 = _mm_xor_si128(
           acc0, _mm_shuffle_epi8(lo_tab[j], _mm_and_si128(s, mask)));
       acc1 = _mm_xor_si128(
           acc1, _mm_shuffle_epi8(hi_tab[j],
                                  _mm_and_si128(_mm_srli_epi64(s, 4), mask)));
     }
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
-                     _mm_xor_si128(acc0, acc1));
+    store_u128(dst + i, _mm_xor_si128(acc0, acc1));
   }
   if (i < n) {
     const std::uint8_t* tails[4] = {src[0] + i, src[1] + i, src[2] + i,

@@ -103,6 +103,7 @@ void Link::transmit(Datagram d) {
   if (jitter_ > 0) {
     deliver_at += std::uniform_real_distribution<Time>(0, jitter_)(net_.rng());
   }
+  ++stats_.in_flight;
   // Weak handle: if the link is replaced/removed while the packet is in
   // flight, the packet evaporates instead of touching a dead Link. The
   // Network itself outlives every event (it owns the Simulator).
@@ -125,6 +126,7 @@ void Link::serializer_departure() {
 }
 
 void Link::complete_delivery(Datagram pkt, std::uint64_t epoch) {
+  --stats_.in_flight;
   if (epoch != down_epoch_) {
     // The link went down after this packet was committed to the wire.
     ++stats_.dropped_down;
@@ -211,6 +213,21 @@ bool Network::send(Datagram d) {
   }
   l->transmit(std::move(d));
   return true;
+}
+
+std::vector<std::string> Network::audit_conservation() const {
+  std::vector<std::string> violations;
+  for (const auto& [key, link] : links_) {
+    const LinkStats& s = link->stats();
+    if (s.conserved()) continue;
+    violations.push_back(
+        std::to_string(key.first) + "->" + std::to_string(key.second) +
+        ": offered " + std::to_string(s.offered) + " != delivered " +
+        std::to_string(s.delivered) + " + dropped " +
+        std::to_string(s.dropped_loss + s.dropped_queue + s.dropped_down) +
+        " + in_flight " + std::to_string(s.in_flight));
+  }
+  return violations;
 }
 
 std::vector<std::uint8_t> Network::take_buffer() {

@@ -57,7 +57,16 @@ struct LinkStats {
   std::uint64_t dropped_loss = 0;   // loss-model drops
   std::uint64_t dropped_queue = 0;  // tail drops
   std::uint64_t dropped_down = 0;   // dropped while (or because) link down
+  std::uint64_t in_flight = 0;      // committed to the wire, not yet resolved
   std::uint64_t bytes_delivered = 0;
+
+  /// Packet conservation: every offered packet is exactly one of
+  /// delivered, dropped, or still in flight. Checked by the NCFN_AUDIT
+  /// teardown pass (obs/audit.hpp).
+  [[nodiscard]] bool conserved() const {
+    return offered ==
+           delivered + dropped_loss + dropped_queue + dropped_down + in_flight;
+  }
 };
 
 class Network;
@@ -199,6 +208,11 @@ class Network {
 
   // Internal: called by Link to hand a datagram to the destination node.
   void deliver(const Datagram& d);
+
+  /// Packet-conservation audit: one "<from>-><to>: ..." line per link
+  /// whose LinkStats fail conserved(). Empty when every link balances.
+  /// SimNet runs this at teardown when audits are enabled.
+  [[nodiscard]] std::vector<std::string> audit_conservation() const;
 
   /// Payload-buffer recycling. take_buffer() hands out an empty vector
   /// whose capacity was earned by an earlier recycled datagram, so the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "coding/byteview.hpp"
+
 namespace ncfn::netsim {
 
 namespace {
@@ -10,21 +12,18 @@ namespace {
 // the segment size so the link charges realistic serialization time.
 std::vector<std::uint8_t> encode_seq(std::uint64_t seq, std::size_t size) {
   std::vector<std::uint8_t> out(std::max<std::size_t>(size, 8), 0);
-  for (int i = 0; i < 8; ++i) {
-    out[static_cast<std::size_t>(i)] =
-        static_cast<std::uint8_t>(seq >> (56 - 8 * i));
-  }
+  coding::ByteWriter w(out);
+  w.u64(seq);
   return out;
 }
 std::uint64_t decode_seq(const std::vector<std::uint8_t>& p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v = (v << 8) | p[static_cast<std::size_t>(i)];
-  return v;
+  coding::ByteView v(p);
+  return v.u64();  // short probe payloads sticky-fail to sequence 0
 }
 }  // namespace
 
 TcpTransfer::TcpTransfer(Network& net, NodeId src, NodeId dst, Port port,
-                         std::size_t total_bytes, TcpConfig cfg,
+                         std::size_t total_bytes, const TcpConfig& cfg,
                          std::function<void(const TcpStats&)> on_complete)
     : net_(net),
       src_(src),

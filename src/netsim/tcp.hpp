@@ -44,7 +44,7 @@ struct TcpStats {
 class TcpTransfer {
  public:
   TcpTransfer(Network& net, NodeId src, NodeId dst, Port port,
-              std::size_t total_bytes, TcpConfig cfg = {},
+              std::size_t total_bytes, const TcpConfig& cfg = {},
               std::function<void(const TcpStats&)> on_complete = nullptr);
   ~TcpTransfer();
 

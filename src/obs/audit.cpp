@@ -1,0 +1,30 @@
+#include "obs/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ncfn::obs {
+
+bool audit_enabled() noexcept {
+  if (const char* e = std::getenv("NCFN_AUDIT"); e != nullptr) {
+    return std::strcmp(e, "0") != 0;
+  }
+#if defined(NDEBUG)
+  return false;
+#else
+  return true;
+#endif
+}
+
+void audit_fail(const char* component,
+                const std::vector<std::string>& violations) {
+  std::fprintf(stderr, "ncfn audit: %s: %zu invariant violation(s)\n",
+               component, violations.size());
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "ncfn audit:   %s\n", v.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace ncfn::obs

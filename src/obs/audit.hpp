@@ -1,0 +1,30 @@
+// Teardown audits: cheap end-of-run invariant checks that turn silent
+// leaks into loud failures.
+//
+// Components with conservation invariants (PacketPool row accounting,
+// per-link packet conservation) verify them when the owning SimNet is
+// destroyed. The checks are compiled in unconditionally — they are a
+// handful of integer compares at teardown — and gated at runtime:
+//
+//   * NCFN_AUDIT=1 in the environment forces them on,
+//   * NCFN_AUDIT=0 forces them off,
+//   * otherwise they default to on in debug builds (!NDEBUG) and off in
+//     release builds.
+//
+// A failed audit prints every violation to stderr and aborts, so CI and
+// death tests can assert on the "ncfn audit" marker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ncfn::obs {
+
+/// Whether teardown audits should run (see file comment for the policy).
+[[nodiscard]] bool audit_enabled() noexcept;
+
+/// Report audit violations ("<component>: <what>") and abort.
+[[noreturn]] void audit_fail(const char* component,
+                             const std::vector<std::string>& violations);
+
+}  // namespace ncfn::obs

@@ -5,7 +5,8 @@
 
 namespace ncfn::vnf {
 
-CodingVnf::CodingVnf(netsim::Network& net, netsim::NodeId node, VnfConfig cfg)
+CodingVnf::CodingVnf(netsim::Network& net, netsim::NodeId node,
+                     const VnfConfig& cfg)
     : net_(net), node_(node), cfg_(cfg), rng_(cfg.seed), buffer_(cfg.params) {
   lanes_.resize(1);
   if (obs::Observability* obs = net_.obs()) {

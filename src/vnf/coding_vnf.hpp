@@ -112,7 +112,8 @@ using PacketTap = std::function<void(coding::SessionId, coding::GenerationId,
 
 class CodingVnf {
  public:
-  CodingVnf(netsim::Network& net, netsim::NodeId node, VnfConfig cfg);
+  CodingVnf(netsim::Network& net, netsim::NodeId node,
+            const VnfConfig& cfg);
   ~CodingVnf();
 
   CodingVnf(const CodingVnf&) = delete;

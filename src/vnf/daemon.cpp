@@ -3,7 +3,7 @@
 namespace ncfn::vnf {
 
 VnfDaemon::VnfDaemon(netsim::Network& net, netsim::NodeId node,
-                     DaemonConfig cfg)
+                     const DaemonConfig& cfg)
     : net_(net), node_(node), cfg_(cfg) {
   vnf_ = std::make_unique<CodingVnf>(net_, node_, cfg_.vnf);
   if ((obs_ = net_.obs()) != nullptr) {

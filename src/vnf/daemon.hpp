@@ -47,7 +47,8 @@ struct DaemonStats {
 
 class VnfDaemon {
  public:
-  VnfDaemon(netsim::Network& net, netsim::NodeId node, DaemonConfig cfg);
+  VnfDaemon(netsim::Network& net, netsim::NodeId node,
+            const DaemonConfig& cfg);
   ~VnfDaemon();
 
   VnfDaemon(const VnfDaemon&) = delete;

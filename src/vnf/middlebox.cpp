@@ -5,7 +5,7 @@
 namespace ncfn::vnf {
 
 MiddleboxVnf::MiddleboxVnf(netsim::Network& net, netsim::NodeId node,
-                           MiddleboxConfig cfg)
+                           const MiddleboxConfig& cfg)
     : net_(net), node_(node), cfg_(cfg) {
   net_.bind(node_, cfg_.port,
             [this](const netsim::Datagram& d) { on_datagram(d); });

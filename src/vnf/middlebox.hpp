@@ -36,7 +36,7 @@ struct MiddleboxStats {
 class MiddleboxVnf {
  public:
   MiddleboxVnf(netsim::Network& net, netsim::NodeId node,
-               MiddleboxConfig cfg);
+               const MiddleboxConfig& cfg);
   ~MiddleboxVnf();
 
   MiddleboxVnf(const MiddleboxVnf&) = delete;

@@ -1,0 +1,5 @@
+// Fixture: the allow() escape hatch must suppress the iostream rule.
+// ncfn-lint: allow(iostream) — fixture demonstrating the escape hatch
+#include <iostream>
+
+void tolerated_log(long bytes);

@@ -1,0 +1,4 @@
+// Fixture: iostream use must be flagged (hot-path scope).
+#include <iostream>
+
+void bad_log(long bytes) { std::cout << bytes << "\n"; }

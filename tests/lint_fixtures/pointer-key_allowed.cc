@@ -1,0 +1,7 @@
+// Fixture: the allow() escape hatch must suppress the pointer-key rule.
+#include <map>
+
+struct Session;
+
+// ncfn-lint: allow(pointer-key) — fixture; never iterated into output
+std::map<Session*, int>* tolerated_registry();

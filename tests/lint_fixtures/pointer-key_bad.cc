@@ -1,0 +1,9 @@
+// Fixture: pointer-keyed ordered containers must be flagged.
+#include <map>
+
+struct Session;
+
+std::map<Session*, int>& bad_registry() {
+  static std::map<Session*, int> by_session;
+  return by_session;
+}

@@ -1,0 +1,8 @@
+// Fixture: the allow() escape hatch must suppress the raw-bytes rule.
+#include <cstring>
+
+void tolerated_copy(unsigned char* dst, const unsigned char* src,
+                    unsigned long n) {
+  // ncfn-lint: allow(raw-bytes) — fixture; size proven by the caller
+  std::memcpy(dst, src, n);
+}

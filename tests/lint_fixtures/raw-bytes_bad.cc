@@ -1,0 +1,11 @@
+// Fixture: raw byte access outside the byte-view header must be flagged.
+#include <cstring>
+
+void bad_copy(unsigned char* dst, const unsigned char* src,
+              unsigned long n) {
+  std::memcpy(dst, src, n);
+}
+
+unsigned long bad_cast(const unsigned char* p) {
+  return *reinterpret_cast<const unsigned long*>(p);
+}

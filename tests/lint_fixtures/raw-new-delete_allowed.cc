@@ -1,0 +1,7 @@
+// Fixture: the allow() escape hatch must suppress raw-new-delete.
+struct Arena;
+
+void* tolerated_alloc(Arena* a) {
+  // ncfn-lint: allow(raw-new-delete) — fixture; arena placement new
+  return new (a) unsigned long;
+}

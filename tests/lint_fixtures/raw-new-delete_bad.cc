@@ -1,0 +1,4 @@
+// Fixture: raw new/delete must be flagged (hot-path scope).
+int* bad_alloc(int n) { return new int[n]; }
+
+void bad_free(const int* p) { delete[] p; }

@@ -1,0 +1,11 @@
+// Fixture: the allow() escape hatch must suppress unordered-iteration.
+#include <unordered_map>
+
+class MetricsRegistry;  // marker: this file emits metrics output
+
+int tolerated_sum(const std::unordered_map<int, int>& counts_by_id) {
+  int total = 0;
+  // ncfn-lint: allow(unordered-iteration) — fixture; sum is order-free
+  for (const auto& [id, n] : counts_by_id) total += n;
+  return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: iterating an unordered container in a file that emits
+// trace/metrics output must be flagged.
+#include <unordered_map>
+
+class EventTrace;  // marker: this file emits trace output
+
+int bad_sum(const std::unordered_map<int, int>& counts_by_id) {
+  int total = 0;
+  for (const auto& [id, n] : counts_by_id) total += n;
+  return total;
+}

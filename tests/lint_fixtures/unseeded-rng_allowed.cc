@@ -1,0 +1,6 @@
+// Fixture: the allow() escape hatch must suppress the unseeded-rng rule.
+#include <cstdlib>
+
+int tolerated_draw() {
+  return std::rand();  // ncfn-lint: allow(unseeded-rng) — fixture
+}

@@ -1,0 +1,8 @@
+// Fixture: unseeded randomness must be flagged.
+#include <cstdlib>
+#include <random>
+
+int bad_draw() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + std::rand();
+}

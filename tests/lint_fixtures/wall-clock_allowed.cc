@@ -1,0 +1,7 @@
+// Fixture: the allow() escape hatch must suppress the wall-clock rule.
+#include <ctime>
+
+long stamped_epoch() {
+  // ncfn-lint: allow(wall-clock) — fixture demonstrating the escape hatch
+  return std::time(nullptr);
+}

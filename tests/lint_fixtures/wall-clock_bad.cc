@@ -1,0 +1,10 @@
+// Fixture: wall-clock time sources must be flagged.
+#include <chrono>
+#include <ctime>
+
+double bad_now_seconds() {
+  const auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_epoch() { return std::time(nullptr); }
