@@ -1,0 +1,39 @@
+// Fuzz target: feedback-message parsing (app::Feedback::parse).
+//
+// The raw input is the wire datagram. Contracts checked per input:
+//   * parse() never throws and never reads out of bounds;
+//   * acceptance requires exactly kFeedbackWireBytes bytes AND a valid
+//     type byte — nothing shorter, longer, or with an unknown type;
+//   * an accepted message re-serializes to the input bytes exactly
+//     (parse → serialize round trip, full-consumption contract).
+#include <algorithm>
+#include <span>
+
+#include "app/messages.hpp"
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace ncfn;
+  const std::span<const std::uint8_t> wire(data, size);
+
+  const auto fb = app::Feedback::parse(wire);
+  fuzzing::note(fb.has_value() ? 1 : 0);
+  const bool well_formed = size == app::kFeedbackWireBytes &&
+                           (data[0] == 1 || data[0] == 2);
+  fuzzing::check(fb.has_value() == well_formed,
+                 "Feedback::parse must accept exactly well-formed frames");
+  if (!fb.has_value()) return 0;
+
+  fuzzing::check(fb->type == app::FeedbackType::kRepair ||
+                     fb->type == app::FeedbackType::kAck,
+                 "accepted feedback must carry a valid type");
+  const auto out = fb->serialize();
+  fuzzing::check(out.size() == wire.size() &&
+                     std::equal(out.begin(), out.end(), wire.begin()),
+                 "parse -> serialize must reproduce the wire bytes");
+  fuzzing::note(fb->session);
+  fuzzing::note(fb->generation);
+  fuzzing::note(fb->block_mask);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fuzz target: text forwarding-table parsing (ctrl::ForwardingTable).
+//
+// The raw input is the table text. Contracts checked per input:
+//   * parse() never throws; overlong lines, duplicate session records
+//     and trailing bytes after the last newline-terminated record all
+//     reject (hardened grammar);
+//   * an accepted table round-trips: serialize() re-parses to an equal
+//     table, and the serialization is a fixed point.
+#include <string>
+
+#include "ctrl/fwdtable.hpp"
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace ncfn;
+  const std::string text(data, data + size);
+
+  const auto tab = ctrl::ForwardingTable::parse(text);
+  fuzzing::note(tab.has_value() ? 1 : 0);
+  if (!tab.has_value()) return 0;
+
+  // Hardened grammar: any non-empty accepted text ends with a newline.
+  fuzzing::check(text.empty() || text.back() == '\n',
+                 "accepted table text must be newline-terminated");
+
+  const std::string canon = tab->serialize();
+  const auto again = ctrl::ForwardingTable::parse(canon);
+  fuzzing::check(again.has_value(),
+                 "serialize() of an accepted table must re-parse");
+  fuzzing::check(*again == *tab, "round trip must preserve the table");
+  fuzzing::check(again->serialize() == canon,
+                 "serialize -> parse -> serialize must be a fixed point");
+  fuzzing::note(tab->size());
+  fuzzing::note_text(canon);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fuzz target: coded-packet header parsing (coding::CodedPacket::parse).
+//
+// Structure-aware input layout:
+//   [0]   generation_blocks selector → g = 1 + b0 % 64
+//   [1]   block_size selector        → bs = 1 + b1 % 2048
+//   [2..] the wire datagram handed to parse()
+//
+// Contracts checked per input:
+//   * parse() never throws and never reads out of bounds (ASan/UBSan);
+//   * acceptance is exact: only a datagram of exactly packet_bytes()
+//     parses (the NC layer has no checksum — size is the only gate);
+//   * an accepted packet exposes exactly g coefficients and bs payload
+//     bytes, and serialize() reproduces the input datagram byte for byte
+//     (parse → serialize round trip).
+#include <algorithm>
+#include <span>
+
+#include "coding/packet.hpp"
+#include "coding/types.hpp"
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace ncfn;
+  if (size < 2) return 0;
+
+  coding::CodingParams params;
+  params.generation_blocks = 1 + data[0] % 64;
+  params.block_size = 1 + data[1] % 2048;
+  const std::span<const std::uint8_t> wire(data + 2, size - 2);
+
+  const auto pkt = coding::CodedPacket::parse(wire, params);
+  fuzzing::note(pkt.has_value() ? 1 : 0);
+  fuzzing::check(pkt.has_value() == (wire.size() == params.packet_bytes()),
+                 "CodedPacket::parse acceptance must be exact-size only");
+  if (!pkt.has_value()) return 0;
+
+  fuzzing::check(pkt->coeff_count() == params.generation_blocks,
+                 "parsed packet must expose g coefficients");
+  fuzzing::check(pkt->payload_size() == params.block_size,
+                 "parsed packet must expose block_size payload bytes");
+
+  const auto out = pkt->serialize();
+  fuzzing::check(out.size() == wire.size() &&
+                     std::equal(out.begin(), out.end(), wire.begin()),
+                 "parse -> serialize must reproduce the wire bytes");
+  fuzzing::note(pkt->session);
+  fuzzing::note(pkt->generation);
+  fuzzing::note_bytes(out);
+  return 0;
+}

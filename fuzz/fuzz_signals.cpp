@@ -1,0 +1,34 @@
+// Fuzz target: NC_* control-signal frame parsing (ctrl::parse_signal).
+//
+// The raw input is the text frame. Contracts checked per input:
+//   * parse_signal() never throws — malformed numeric fields must be
+//     rejected by the checked parser, not bubble up as exceptions;
+//   * an accepted signal is canonical: serialize(sig) re-parses to a
+//     signal of the same kind whose serialization is byte-identical
+//     (serialize ∘ parse is a projection onto canonical frames).
+#include <string>
+
+#include "ctrl/signals.hpp"
+#include "harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace ncfn;
+  const std::string text(data, data + size);
+
+  const auto sig = ctrl::parse_signal(text);
+  fuzzing::note(sig.has_value() ? 1 : 0);
+  if (!sig.has_value()) return 0;
+
+  const std::string canon = ctrl::serialize(*sig);
+  const auto again = ctrl::parse_signal(canon);
+  fuzzing::check(again.has_value(),
+                 "serialize() of an accepted signal must re-parse");
+  fuzzing::check(again->index() == sig->index(),
+                 "round trip must preserve the signal kind");
+  fuzzing::check(ctrl::serialize(*again) == canon,
+                 "serialize -> parse -> serialize must be a fixed point");
+  fuzzing::note(static_cast<std::uint64_t>(sig->index()));
+  fuzzing::note_text(canon);
+  return 0;
+}

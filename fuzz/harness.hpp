@@ -1,0 +1,91 @@
+// Shared scaffolding for the fuzz targets under fuzz/.
+//
+// Every target defines the libFuzzer entry point
+//
+//     extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t n);
+//
+// and is built two ways from the same source:
+//
+//   * `cmake --preset fuzz` (clang): linked with -fsanitize=fuzzer into a
+//     coverage-guided fuzzer with ASan+UBSan — the exploration build;
+//   * every other preset (gcc included): linked against replay_main.cpp
+//     into a `fuzz_<target>_replay` binary that deterministically replays
+//     the checked-in corpus under tests/corpus/<target>/ as a plain
+//     `ctest -L fuzz` test — the regression build.
+//
+// Contract helpers:
+//
+//   check(cond, what)  — abort() with a message when a harness invariant
+//     fails. abort() is what libFuzzer treats as a crash, so a violated
+//     contract becomes a minimized reproducer instead of a green run.
+//   note(v) / note_bytes(s) — fold parser outcomes into a per-input
+//     FNV-1a digest. The replay driver prints one digest line per corpus
+//     file, so `fuzz_<t>_replay` output is a behavioural fingerprint:
+//     byte-comparing it across presets (default vs asan vs ubsan) proves
+//     the parsers decide identically under every build. In the libFuzzer
+//     build the digest is simply never read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string_view>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+// FNV-1a depends on 64-bit wraparound, which is well-defined for
+// unsigned types but flagged by clang's optional unsigned-integer-
+// overflow sanitizer (part of the ubsan-strict preset). The wrap here is
+// the algorithm, not a bug — exempt exactly these fold functions.
+#if defined(__clang__)
+#define NCFN_FUZZ_WRAPS \
+  __attribute__((no_sanitize("unsigned-integer-overflow")))
+#else
+#define NCFN_FUZZ_WRAPS
+#endif
+
+namespace ncfn::fuzzing {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t g_digest = kFnvOffset;  // NOLINT: per-input scratch
+
+inline void reset_digest() noexcept { g_digest = kFnvOffset; }
+[[nodiscard]] inline std::uint64_t digest() noexcept { return g_digest; }
+
+/// FNV-1a fold of one 64-bit value into an accumulator.
+NCFN_FUZZ_WRAPS inline std::uint64_t fold(std::uint64_t acc,
+                                          std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    acc = (acc ^ ((v >> (8 * i)) & 0xffu)) * kFnvPrime;
+  }
+  return acc;
+}
+
+/// Fold one 64-bit observation into the input's behaviour digest.
+inline void note(std::uint64_t v) noexcept { g_digest = fold(g_digest, v); }
+
+NCFN_FUZZ_WRAPS inline void note_bytes(
+    std::span<const std::uint8_t> s) noexcept {
+  for (const std::uint8_t b : s) g_digest = (g_digest ^ b) * kFnvPrime;
+}
+
+NCFN_FUZZ_WRAPS inline void note_text(std::string_view s) noexcept {
+  for (const char c : s) {
+    g_digest = (g_digest ^ static_cast<std::uint8_t>(c)) * kFnvPrime;
+  }
+}
+
+/// Abort (→ libFuzzer crash, replay failure) on a violated harness
+/// contract. `what` names the broken invariant in the crash log.
+inline void check(bool cond, const char* what) noexcept {
+  if (cond) return;
+  std::fprintf(stderr, "ncfn-fuzz: contract violated: %s\n", what);
+  std::abort();
+}
+
+}  // namespace ncfn::fuzzing

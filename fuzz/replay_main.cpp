@@ -1,0 +1,97 @@
+// ncfn-fuzz-replay — deterministic corpus replay driver.
+//
+// Linked with exactly one fuzz target's LLVMFuzzerTestOneInput, this main
+// replays every file of the checked-in corpus directories given on the
+// command line, in filename order, and prints one line per file:
+//
+//     <filename> <bytes> <behaviour-digest>
+//
+// plus a combined digest trailer. The output depends only on the corpus
+// contents and the target's decisions — no paths, no timestamps — so two
+// presets (default vs asan vs ubsan-strict) replaying the same corpus
+// must produce byte-identical stdout. CI diffs them; any divergence means
+// a parser behaves differently under instrumentation, which is exactly
+// the bug class the differential harness exists to catch.
+//
+// Exit codes: 0 all files replayed, 2 usage/IO error (an empty or missing
+// corpus is an error: a silently skipped corpus would read as coverage).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> collect(const fs::path& root) {
+  std::vector<fs::path> files;
+  if (fs::is_regular_file(root)) {
+    files.push_back(root);
+    return files;
+  }
+  if (!fs::is_directory(root)) return files;
+  for (const auto& entry : fs::directory_iterator(root)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  return files;
+}
+
+bool read_file(const fs::path& path, std::vector<std::uint8_t>* out) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir|file>...\n", argv[0]);
+    return 2;
+  }
+  std::uint64_t combined = ncfn::fuzzing::kFnvOffset;
+  std::size_t replayed = 0;
+  std::vector<std::uint8_t> bytes;
+  for (int i = 1; i < argc; ++i) {
+    const auto files = collect(argv[i]);
+    if (files.empty()) {
+      std::fprintf(stderr, "ncfn-fuzz-replay: no corpus files in %s\n",
+                   argv[i]);
+      return 2;
+    }
+    for (const fs::path& file : files) {
+      if (!read_file(file, &bytes)) {
+        std::fprintf(stderr, "ncfn-fuzz-replay: cannot read %s\n",
+                     file.string().c_str());
+        return 2;
+      }
+      ncfn::fuzzing::reset_digest();
+      LLVMFuzzerTestOneInput(bytes.empty() ? nullptr : bytes.data(),
+                             bytes.size());
+      const std::uint64_t d = ncfn::fuzzing::digest();
+      std::printf("%s %zu %016llx\n", file.filename().string().c_str(),
+                  bytes.size(), static_cast<unsigned long long>(d));
+      combined = ncfn::fuzzing::fold(combined, d);
+      ++replayed;
+    }
+  }
+  std::printf("ncfn-fuzz-replay: %zu file(s), combined %016llx\n", replayed,
+              static_cast<unsigned long long>(combined));
+  return 0;
+}

@@ -1,21 +1,19 @@
 #include "app/config.hpp"
 
-#include <charconv>
 #include <fstream>
 #include <sstream>
+
+#include "coding/strparse.hpp"
 
 namespace ncfn::app {
 
 namespace {
 
 bool parse_double(const std::string& s, double& out) {
-  try {
-    std::size_t used = 0;
-    out = std::stod(s, &used);
-    return used == s.size();
-  } catch (const std::exception&) {
-    return false;
-  }
+  const auto v = coding::parse_num<double>(s);
+  if (!v) return false;
+  out = *v;
+  return true;
 }
 
 /// Splits "key=value" options; returns false on a malformed token.
@@ -103,12 +101,13 @@ struct LineParser {
 
   bool handle_session(std::istringstream& in) {
     ctrl::SessionSpec spec;
-    std::string src, arrow;
-    unsigned long id = 0;
-    if (!(in >> id >> src >> arrow) || arrow != "->") {
+    std::string id_tok, src, arrow;
+    if (!(in >> id_tok >> src >> arrow) || arrow != "->") {
       return fail("session needs: session <id> <source> -> <receivers...>");
     }
-    spec.id = static_cast<coding::SessionId>(id);
+    const auto id = coding::parse_num<coding::SessionId>(id_tok);
+    if (!id) return fail("bad session id '" + id_tok + "'");
+    spec.id = *id;
     const auto s = lookup(src);
     if (!s) return fail("unknown node '" + src + "'");
     spec.source = *s;

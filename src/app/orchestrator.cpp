@@ -1,8 +1,9 @@
 #include "app/orchestrator.hpp"
 
-#include <cstdlib>
 #include <string>
+#include <string_view>
 
+#include "coding/strparse.hpp"
 #include "ctrl/signals.hpp"
 
 namespace ncfn::app {
@@ -56,10 +57,10 @@ Orchestrator::~Orchestrator() {
 void Orchestrator::on_heartbeat(const netsim::Datagram& d) {
   const std::string text(d.payload.begin(), d.payload.end());
   if (text.rfind("HB ", 0) != 0) return;
-  char* end = nullptr;
-  const unsigned long node = std::strtoul(text.c_str() + 3, &end, 10);
-  if (end == text.c_str() + 3) return;
-  ctl_.heartbeat(static_cast<graph::NodeIdx>(node), sim_.net().sim().now());
+  const auto node =
+      coding::parse_num<graph::NodeIdx>(std::string_view(text).substr(3));
+  if (!node || *node < 0) return;
+  ctl_.heartbeat(*node, sim_.net().sim().now());
   flush_signals();  // a heartbeat from a down DC revives it (re-solve)
 }
 

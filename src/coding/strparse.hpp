@@ -1,0 +1,58 @@
+// Checked numeric parsing for untrusted text — the one approved home of
+// string→number conversion.
+//
+// The control plane exchanges text frames (NC_* signals, forwarding
+// tables, scenario files) whose numeric fields are attacker-shaped. The
+// std::stoul/std::stod family throws on malformed input and silently
+// accepts trailing garbage ("12abc" → 12), and the strtol/atoi family
+// reports errors through errno or not at all — both are exactly the
+// wrong contract for a parser that must be a total function. parse_num<T>
+// wraps std::from_chars with the strict contract every text parser in
+// this repo relies on:
+//
+//   * never throws, never touches errno;
+//   * the WHOLE token must be consumed — trailing garbage rejects;
+//   * out-of-range values reject (no wrap, no truncation, no inf);
+//   * no leading whitespace, no '+', no hex/octal auto-detection;
+//   * floating-point accepts only finite decimal values.
+//
+// ncfn-lint enforces the funnel: rule `throwing-numparse` bans
+// std::sto* / atoi / strtol outside this header, so new parsing code has
+// to route through parse_num or carry a justified per-line allow().
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <optional>
+#include <string_view>
+#include <type_traits>
+
+namespace ncfn::coding {
+
+/// Parse the entire token `s` as a value of arithmetic type T.
+/// Returns std::nullopt on empty input, trailing garbage, sign/base
+/// prefixes from_chars rejects, out-of-range values, and (for floating
+/// point) non-finite results. Never throws.
+template <typename T>
+[[nodiscard]] std::optional<T> parse_num(std::string_view s) noexcept {
+  static_assert(std::is_arithmetic_v<T> && !std::is_same_v<T, bool>,
+                "parse_num parses arithmetic types only");
+  if (s.empty()) return std::nullopt;
+  T value{};
+  std::from_chars_result r{};
+  if constexpr (std::is_floating_point_v<T>) {
+    r = std::from_chars(s.data(), s.data() + s.size(), value,
+                        std::chars_format::general);
+  } else {
+    r = std::from_chars(s.data(), s.data() + s.size(), value);
+  }
+  if (r.ec != std::errc{} || r.ptr != s.data() + s.size()) {
+    return std::nullopt;
+  }
+  if constexpr (std::is_floating_point_v<T>) {
+    if (!std::isfinite(value)) return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace ncfn::coding

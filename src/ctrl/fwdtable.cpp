@@ -1,20 +1,11 @@
 #include "ctrl/fwdtable.hpp"
 
-#include <charconv>
 #include <sstream>
+#include <string_view>
+
+#include "coding/strparse.hpp"
 
 namespace ncfn::ctrl {
-
-namespace {
-bool parse_u32(std::string_view s, std::uint32_t& out) {
-  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  return ec == std::errc{} && p == s.data() + s.size();
-}
-bool parse_u16(std::string_view s, std::uint16_t& out) {
-  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  return ec == std::errc{} && p == s.data() + s.size();
-}
-}  // namespace
 
 std::string ForwardingTable::serialize() const {
   std::ostringstream out;
@@ -29,28 +20,41 @@ std::string ForwardingTable::serialize() const {
 
 std::optional<ForwardingTable> ForwardingTable::parse(
     const std::string& text) {
+  using coding::parse_num;
+  // A record line is small: a session id plus a handful of node:port
+  // hops. Anything longer is attacker-shaped, not a table.
+  constexpr std::size_t kMaxLineBytes = 512;
+
   ForwardingTable tab;
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto nl = text.find('\n', pos);
+    // The file format is newline-terminated records; bytes after the
+    // last record (a final line with no '\n') mean truncation or
+    // concatenation garbage — reject rather than guess.
+    if (nl == std::string::npos) return std::nullopt;
+    std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (line.size() > kMaxLineBytes) return std::nullopt;
     if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
+
+    std::istringstream ls{std::string(line)};
     std::string tok;
-    if (!(ls >> tok)) continue;
-    std::uint32_t session = 0;
-    if (!parse_u32(tok, session)) return std::nullopt;
+    if (!(ls >> tok)) continue;  // whitespace-only line
+    const auto session = parse_num<std::uint32_t>(tok);
+    if (!session) return std::nullopt;
+    if (tab.find(*session) != nullptr) return std::nullopt;  // duplicate
     std::vector<NextHop> hops;
     while (ls >> tok) {
       const auto colon = tok.find(':');
       if (colon == std::string::npos) return std::nullopt;
-      NextHop h;
-      if (!parse_u32(std::string_view(tok).substr(0, colon), h.node) ||
-          !parse_u16(std::string_view(tok).substr(colon + 1), h.port)) {
-        return std::nullopt;
-      }
-      hops.push_back(h);
+      const std::string_view tv(tok);
+      const auto node = parse_num<std::uint32_t>(tv.substr(0, colon));
+      const auto port = parse_num<std::uint16_t>(tv.substr(colon + 1));
+      if (!node || !port) return std::nullopt;
+      hops.push_back(NextHop{*node, *port});
     }
-    tab.set(session, std::move(hops));
+    tab.set(*session, std::move(hops));
   }
   return tab;
 }

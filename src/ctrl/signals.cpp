@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "coding/strparse.hpp"
+
 namespace ncfn::ctrl {
 
 std::string to_string(VnfRole role) {
@@ -80,12 +82,56 @@ const char* signal_name(const Signal& s) {
       s);
 }
 
+namespace {
+
+using coding::parse_num;
+
+struct Fields {
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  /// The value of a single-occurrence key; nullopt when absent or
+  /// duplicated (a repeated scalar field is a malformed frame, not a
+  /// silent first-wins).
+  [[nodiscard]] std::optional<std::string> unique(
+      const std::string& key) const {
+    std::optional<std::string> found;
+    for (const auto& [k, v] : kv) {
+      if (k != key) continue;
+      if (found.has_value()) return std::nullopt;
+      found = v;
+    }
+    return found;
+  }
+
+  /// Every key is one of `allowed` — unknown fields reject the frame, so
+  /// a parsed signal round-trips without dropping input.
+  [[nodiscard]] bool keys_subset_of(
+      std::initializer_list<const char*> allowed) const {
+    for (const auto& [k, v] : kv) {
+      bool known = false;
+      for (const char* a : allowed) known |= (k == a);
+      if (!known) return false;
+    }
+    return true;
+  }
+};
+
+/// Parse a single-occurrence numeric field of the frame.
+template <typename T>
+std::optional<T> num_field(const Fields& fields, const std::string& key) {
+  const auto v = fields.unique(key);
+  if (!v) return std::nullopt;
+  return parse_num<T>(*v);
+}
+
+}  // namespace
+
 std::optional<Signal> parse_signal(const std::string& text) {
   std::istringstream in(text);
   std::string kind;
   if (!std::getline(in, kind)) return std::nullopt;
 
-  std::vector<std::pair<std::string, std::string>> fields;
+  Fields fields;
   std::string line;
   bool terminated = false;
   while (std::getline(in, line)) {
@@ -95,68 +141,68 @@ std::optional<Signal> parse_signal(const std::string& text) {
     }
     const auto space = line.find(' ');
     if (space == std::string::npos) return std::nullopt;
-    fields.emplace_back(line.substr(0, space), line.substr(space + 1));
+    fields.kv.emplace_back(line.substr(0, space), line.substr(space + 1));
   }
-  if (!terminated) return std::nullopt;
-
-  auto field = [&](const std::string& key) -> std::optional<std::string> {
-    for (const auto& [k, v] : fields) {
-      if (k == key) return v;
-    }
+  // Unterminated frames and trailing bytes after END both reject: the
+  // frame must be exactly [kind, fields..., END].
+  if (!terminated || in.peek() != std::istringstream::traits_type::eof()) {
     return std::nullopt;
-  };
+  }
 
-  try {
-    if (kind == "NC_START") {
-      auto v = field("session");
-      if (!v) return std::nullopt;
-      return NcStart{static_cast<coding::SessionId>(std::stoul(*v))};
+  if (kind == "NC_START") {
+    if (!fields.keys_subset_of({"session"})) return std::nullopt;
+    const auto v = num_field<coding::SessionId>(fields, "session");
+    if (!v) return std::nullopt;
+    return NcStart{*v};
+  }
+  if (kind == "NC_VNF_START") {
+    if (!fields.keys_subset_of({"datacenter", "count"})) return std::nullopt;
+    const auto dc = num_field<std::uint32_t>(fields, "datacenter");
+    const auto count = num_field<std::uint32_t>(fields, "count");
+    if (!dc || !count) return std::nullopt;
+    return NcVnfStart{*dc, *count};
+  }
+  if (kind == "NC_VNF_END") {
+    if (!fields.keys_subset_of({"vnf", "tau"})) return std::nullopt;
+    const auto vnf = num_field<std::uint32_t>(fields, "vnf");
+    const auto tau = num_field<double>(fields, "tau");
+    if (!vnf || !tau) return std::nullopt;
+    return NcVnfEnd{*vnf, *tau};
+  }
+  if (kind == "NC_FORWARD_TAB") {
+    if (!fields.keys_subset_of({"tab"})) return std::nullopt;
+    std::string table_text;
+    for (const auto& [k, v] : fields.kv) {
+      if (k == "tab") table_text += v + '\n';
     }
-    if (kind == "NC_VNF_START") {
-      auto dc = field("datacenter");
-      auto count = field("count");
-      if (!dc || !count) return std::nullopt;
-      return NcVnfStart{static_cast<std::uint32_t>(std::stoul(*dc)),
-                        static_cast<std::uint32_t>(std::stoul(*count))};
+    auto tab = ForwardingTable::parse(table_text);
+    if (!tab) return std::nullopt;
+    return NcForwardTab{std::move(*tab)};
+  }
+  if (kind == "NC_SETTINGS") {
+    if (!fields.keys_subset_of({"generation_blocks", "block_size",
+                                "session"})) {
+      return std::nullopt;
     }
-    if (kind == "NC_VNF_END") {
-      auto vnf = field("vnf");
-      auto tau = field("tau");
-      if (!vnf || !tau) return std::nullopt;
-      return NcVnfEnd{static_cast<std::uint32_t>(std::stoul(*vnf)),
-                      std::stod(*tau)};
+    NcSettings s;
+    const auto gb = num_field<std::uint32_t>(fields, "generation_blocks");
+    const auto bs = num_field<std::uint32_t>(fields, "block_size");
+    if (!gb || !bs) return std::nullopt;
+    s.generation_blocks = *gb;
+    s.block_size = *bs;
+    for (const auto& [k, v] : fields.kv) {
+      if (k != "session") continue;
+      // Exactly "<id> <role> <port>" — no extra tokens.
+      std::istringstream fs(v);
+      std::string id, role, port, extra;
+      if (!(fs >> id >> role >> port) || (fs >> extra)) return std::nullopt;
+      const auto sid = parse_num<coding::SessionId>(id);
+      const auto r = role_from_string(role);
+      const auto p = parse_num<std::uint16_t>(port);
+      if (!sid || !r || !p) return std::nullopt;
+      s.sessions.push_back(SessionSetting{*sid, *r, *p});
     }
-    if (kind == "NC_FORWARD_TAB") {
-      std::string table_text;
-      for (const auto& [k, v] : fields) {
-        if (k == "tab") table_text += v + '\n';
-      }
-      auto tab = ForwardingTable::parse(table_text);
-      if (!tab) return std::nullopt;
-      return NcForwardTab{std::move(*tab)};
-    }
-    if (kind == "NC_SETTINGS") {
-      NcSettings s;
-      auto gb = field("generation_blocks");
-      auto bs = field("block_size");
-      if (!gb || !bs) return std::nullopt;
-      s.generation_blocks = static_cast<std::uint32_t>(std::stoul(*gb));
-      s.block_size = static_cast<std::uint32_t>(std::stoul(*bs));
-      for (const auto& [k, v] : fields) {
-        if (k != "session") continue;
-        std::istringstream fs(v);
-        std::string id, role, port;
-        if (!(fs >> id >> role >> port)) return std::nullopt;
-        auto r = role_from_string(role);
-        if (!r) return std::nullopt;
-        s.sessions.push_back(SessionSetting{
-            static_cast<coding::SessionId>(std::stoul(id)), *r,
-            static_cast<std::uint16_t>(std::stoul(port))});
-      }
-      return s;
-    }
-  } catch (const std::exception&) {
-    return std::nullopt;
+    return s;
   }
   return std::nullopt;
 }

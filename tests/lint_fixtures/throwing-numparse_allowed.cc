@@ -1,0 +1,7 @@
+// Fixture: the allow() escape hatch must suppress throwing-numparse.
+#include <string>
+
+unsigned long annotated_stoul(const std::string& s) {
+  // ncfn-lint: allow(throwing-numparse) — fixture demonstrating the escape hatch
+  return std::stoul(s);
+}

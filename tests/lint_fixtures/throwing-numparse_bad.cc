@@ -1,0 +1,11 @@
+// Fixture: throwing/unchecked string→number conversions must be flagged.
+#include <cstdlib>
+#include <string>
+
+unsigned long bad_stoul(const std::string& s) { return std::stoul(s); }
+
+double bad_stod(const std::string& s) { return std::stod(s); }
+
+int bad_atoi(const char* s) { return std::atoi(s); }
+
+long bad_strtol(const char* s) { return std::strtol(s, nullptr, 10); }

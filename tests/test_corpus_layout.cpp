@@ -1,0 +1,88 @@
+// Guards the seed-corpus layout contract: every file checked in under
+// tests/corpus/ is exercised by exactly one replay test. The replay
+// tests (fuzz.replay_<target>, see fuzz/CMakeLists.txt) each consume
+// one directory tests/corpus/fuzz_<target>, so the contract reduces to:
+//   * the top level of tests/corpus/ contains only the known target
+//     directories — a stray dir would hold seeds nothing replays;
+//   * each target directory exists and holds at least one regular file
+//     — an empty corpus makes its replay test exit 2;
+//   * no nested directories or non-regular files, which the replay
+//     driver would skip silently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const std::set<std::string> kTargets = {
+    "fuzz_packet",  "fuzz_feedback", "fuzz_signals",
+    "fuzz_fwdtable", "fuzz_scenario", "fuzz_gf_diff",
+};
+
+fs::path corpus_root() {
+  return fs::path(NCFN_SOURCE_DIR) / "tests" / "corpus";
+}
+
+}  // namespace
+
+TEST(CorpusLayout, TopLevelIsExactlyTheKnownTargets) {
+  ASSERT_TRUE(fs::is_directory(corpus_root()))
+      << "missing corpus root " << corpus_root();
+  std::set<std::string> found;
+  for (const auto& entry : fs::directory_iterator(corpus_root())) {
+    EXPECT_TRUE(entry.is_directory())
+        << "stray non-directory in corpus root: " << entry.path()
+        << " (seeds must live in a per-target subdirectory)";
+    found.insert(entry.path().filename().string());
+  }
+  EXPECT_EQ(found, kTargets)
+      << "corpus directories must match the fuzz target list in "
+         "fuzz/CMakeLists.txt one-to-one; a mismatch means seeds exist "
+         "that no replay test runs, or a replay test has no corpus";
+}
+
+TEST(CorpusLayout, EveryTargetHasFlatNonEmptySeeds) {
+  for (const auto& target : kTargets) {
+    const fs::path dir = corpus_root() / target;
+    ASSERT_TRUE(fs::is_directory(dir)) << "missing corpus dir " << dir;
+    std::size_t files = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      EXPECT_TRUE(entry.is_regular_file())
+          << "non-regular entry " << entry.path()
+          << " — the replay driver only reads regular files at the top "
+             "level, so this seed would never be replayed";
+      EXPECT_GT(entry.file_size(), 0u)
+          << "empty seed " << entry.path()
+          << " exercises nothing; delete it or give it content";
+      ++files;
+    }
+    EXPECT_GE(files, 1u) << "empty corpus " << dir
+                         << " would make fuzz.replay fail with exit 2";
+  }
+}
+
+TEST(CorpusLayout, SeedNamesAreReplayStable) {
+  // Replay output lists seeds by filename and folds them in sorted
+  // order; names must therefore be unique per directory (guaranteed by
+  // the filesystem) and portable — ASCII, no spaces, so the one-line-
+  // per-seed output stays parseable and diffs cleanly across presets.
+  for (const auto& target : kTargets) {
+    for (const auto& entry : fs::directory_iterator(corpus_root() / target)) {
+      const std::string name = entry.path().filename().string();
+      const bool portable =
+          std::all_of(name.begin(), name.end(), [](unsigned char ch) {
+            return (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
+                   ch == '.' || ch == '_' || ch == '-';
+          });
+      EXPECT_TRUE(portable)
+          << "seed name " << entry.path()
+          << " must be lowercase ASCII [a-z0-9._-] for stable replay logs";
+    }
+  }
+}

@@ -1,0 +1,355 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the parser/control surfaces.
+
+Reads a coverage report, aggregates line coverage per scope (source
+subtree), and fails when any scope drops below the committed baseline in
+tools/coverage_baseline.json. CI runs this on clang source-based
+coverage (`llvm-cov export`); the same gate accepts lcov tracefiles and
+gcc `gcov --json-format` output so the numbers can be reproduced locally
+on a gcc-only machine.
+
+Formats (auto-detected from the path, or forced with --format):
+  llvm-json  file produced by `llvm-cov export [-summary-only]`
+  lcov       .info tracefile (SF:/DA:/LF:/LH: records)
+  gcov-json  directory of *.gcov.json[.gz] from `gcov --json-format`
+
+Usage:
+  coverage_gate.py [--baseline FILE] [--format F] [--update] REPORT
+  coverage_gate.py --self-test
+
+Exit codes: 0 gate passed / baseline updated / self-test OK; 1 gate
+failed (coverage regressed or scope missing); 2 usage or parse error.
+"""
+
+import argparse
+import glob
+import gzip
+import json
+import math
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "coverage_baseline.json")
+
+
+def norm(path):
+    """Normalize a report path for scope matching."""
+    return os.path.normpath(path).replace(os.sep, "/")
+
+
+def scope_of(path, scopes):
+    """Return the scope a file belongs to, or None.
+
+    A scope like "src/coding" matches any path containing it as a
+    directory-component run, so absolute build paths and repo-relative
+    paths both land in the same bucket.
+    """
+    p = "/" + norm(path).lstrip("/") + "/"
+    for scope in scopes:
+        if "/" + scope.strip("/") + "/" in p:
+            return scope
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Report readers. Each returns {filename: {line_number, ...} x2} as a pair of
+# dicts (executable_lines, covered_lines) merged across translation units.
+
+
+def _merge(acc, filename, executable, covered):
+    exe, cov = acc.setdefault(filename, (set(), set()))
+    exe.update(executable)
+    cov.update(covered)
+
+
+def read_llvm_json(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("type") != "llvm.coverage.json.export":
+        raise ValueError(f"{path}: not an llvm-cov export document")
+    acc = {}
+    for data in doc.get("data", []):
+        for entry in data.get("files", []):
+            summary = entry.get("summary", {}).get("lines", {})
+            count = int(summary.get("count", 0))
+            covered = int(summary.get("covered", 0))
+            # Summary-only exports carry no per-line detail; synthesize
+            # distinct line keys so cross-file merging stays set-based.
+            _merge(acc, norm(entry["filename"]), range(count), range(covered))
+    return acc
+
+
+def read_lcov(path):
+    acc = {}
+    current = None
+    executable, covered = set(), set()
+    with open(path, "r", encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if line.startswith("SF:"):
+                current = norm(line[3:])
+                executable, covered = set(), set()
+            elif line.startswith("DA:") and current is not None:
+                lineno_s, _, count_s = line[3:].partition(",")
+                lineno = int(lineno_s)
+                executable.add(lineno)
+                if int(count_s.split(",")[0]) > 0:
+                    covered.add(lineno)
+            elif line == "end_of_record" and current is not None:
+                _merge(acc, current, executable, covered)
+                current = None
+    return acc
+
+
+def read_gcov_json_dir(path):
+    paths = sorted(
+        glob.glob(os.path.join(path, "**", "*.gcov.json*"), recursive=True))
+    if not paths:
+        raise ValueError(f"{path}: no *.gcov.json[.gz] files found")
+    acc = {}
+    for p in paths:
+        opener = gzip.open if p.endswith(".gz") else open
+        with opener(p, "rt", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for entry in doc.get("files", []):
+            executable = set()
+            covered = set()
+            for ln in entry.get("lines", []):
+                lineno = int(ln["line_number"])
+                executable.add(lineno)
+                if int(ln.get("count", 0)) > 0:
+                    covered.add(lineno)
+            _merge(acc, norm(entry["file"]), executable, covered)
+    return acc
+
+
+def detect_format(path):
+    if os.path.isdir(path):
+        return "gcov-json"
+    if path.endswith(".info"):
+        return "lcov"
+    return "llvm-json"
+
+
+READERS = {
+    "llvm-json": read_llvm_json,
+    "lcov": read_lcov,
+    "gcov-json": read_gcov_json_dir,
+}
+
+
+# ---------------------------------------------------------------------------
+# Aggregation and the gate itself.
+
+
+def aggregate(per_file, scopes):
+    """Collapse per-file line sets into {scope: (covered, total)}."""
+    totals = {scope: [0, 0] for scope in scopes}
+    for filename, (executable, covered) in per_file.items():
+        scope = scope_of(filename, scopes)
+        if scope is None:
+            continue
+        totals[scope][0] += len(covered)
+        totals[scope][1] += len(executable)
+    return {s: (c, t) for s, (c, t) in totals.items()}
+
+
+def pct(covered, total):
+    return 100.0 * covered / total if total else 0.0
+
+
+def run_gate(per_file, baseline):
+    minima = baseline["min_line_coverage_pct"]
+    measured = aggregate(per_file, minima.keys())
+    failures = []
+    for scope, minimum in sorted(minima.items()):
+        covered, total = measured[scope]
+        value = pct(covered, total)
+        status = "ok"
+        if total == 0:
+            status = "FAIL (no lines measured — wrong report or scope?)"
+            failures.append(scope)
+        elif value + 1e-9 < minimum:
+            status = "FAIL"
+            failures.append(scope)
+        print(f"coverage-gate: {scope}: {value:.1f}% "
+              f"({covered}/{total} lines, floor {minimum:.1f}%) {status}")
+    return failures
+
+
+def update_baseline(per_file, baseline, baseline_path, margin):
+    minima = baseline["min_line_coverage_pct"]
+    measured = aggregate(per_file, minima.keys())
+    for scope in minima:
+        covered, total = measured[scope]
+        if total == 0:
+            print(f"coverage-gate: refusing to update {scope}: "
+                  "no lines measured", file=sys.stderr)
+            return 1
+        floor = max(0.0, math.floor((pct(covered, total) - margin) * 10) / 10)
+        minima[scope] = floor
+    with open(baseline_path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"coverage-gate: baseline updated ({baseline_path}, "
+          f"margin {margin:.1f} pts)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: synthetic fixtures for all three formats plus gate logic.
+
+
+def self_test():
+    import tempfile
+
+    failures = []
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    scopes = ["src/coding", "src/ctrl"]
+
+    # llvm-json fixture: 8/10 coding lines, 9/10 ctrl lines.
+    llvm_doc = {
+        "type": "llvm.coverage.json.export",
+        "version": "2.0.1",
+        "data": [{
+            "files": [
+                {"filename": "/ci/repo/src/coding/packet.cpp",
+                 "summary": {"lines": {"count": 10, "covered": 8}}},
+                {"filename": "/ci/repo/src/ctrl/signals.cpp",
+                 "summary": {"lines": {"count": 10, "covered": 9}}},
+                {"filename": "/ci/repo/src/app/main.cpp",
+                 "summary": {"lines": {"count": 50, "covered": 1}}},
+            ],
+        }],
+    }
+
+    # lcov fixture: same file appears twice (two TUs); union = 3/4 lines.
+    lcov_text = (
+        "TN:\n"
+        "SF:/ci/repo/src/coding/strparse.hpp\n"
+        "DA:1,1\nDA:2,0\nDA:3,0\nDA:4,1\n"
+        "LF:4\nLH:2\nend_of_record\n"
+        "SF:/ci/repo/src/coding/strparse.hpp\n"
+        "DA:1,0\nDA:2,5\nDA:3,0\nDA:4,2\n"
+        "LF:4\nLH:2\nend_of_record\n"
+        "SF:/ci/repo/src/ctrl/fwdtable.cpp\n"
+        "DA:1,1\nDA:2,1\n"
+        "LF:2\nLH:2\nend_of_record\n")
+
+    gcov_doc = {
+        "format_version": "1",
+        "files": [{
+            "file": "src/ctrl/controller.cpp",
+            "lines": [
+                {"line_number": 3, "count": 2},
+                {"line_number": 4, "count": 0},
+            ],
+        }],
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        llvm_path = os.path.join(tmp, "export.json")
+        with open(llvm_path, "w", encoding="utf-8") as fh:
+            json.dump(llvm_doc, fh)
+        lcov_path = os.path.join(tmp, "cov.info")
+        with open(lcov_path, "w", encoding="utf-8") as fh:
+            fh.write(lcov_text)
+        gcov_dir = os.path.join(tmp, "gcov")
+        os.mkdir(gcov_dir)
+        with gzip.open(os.path.join(gcov_dir, "controller.gcov.json.gz"),
+                       "wt", encoding="utf-8") as fh:
+            json.dump(gcov_doc, fh)
+
+        agg = aggregate(read_llvm_json(llvm_path), scopes)
+        expect(agg["src/coding"] == (8, 10), f"llvm coding agg: {agg}")
+        expect(agg["src/ctrl"] == (9, 10), f"llvm ctrl agg: {agg}")
+
+        agg = aggregate(read_lcov(lcov_path), scopes)
+        expect(agg["src/coding"] == (3, 4), f"lcov merge agg: {agg}")
+        expect(agg["src/ctrl"] == (2, 2), f"lcov ctrl agg: {agg}")
+
+        agg = aggregate(read_gcov_json_dir(gcov_dir), scopes)
+        expect(agg["src/ctrl"] == (1, 2), f"gcov agg: {agg}")
+
+        expect(detect_format(gcov_dir) == "gcov-json", "detect dir")
+        expect(detect_format(lcov_path) == "lcov", "detect lcov")
+        expect(detect_format(llvm_path) == "llvm-json", "detect llvm")
+
+        # Gate: passes at the measured floor, fails above it, fails on
+        # an unmeasured scope.
+        per_file = read_llvm_json(llvm_path)
+        ok = run_gate(per_file, {"min_line_coverage_pct": {
+            "src/coding": 80.0, "src/ctrl": 90.0}})
+        expect(ok == [], f"gate should pass at floor: {ok}")
+        bad = run_gate(per_file, {"min_line_coverage_pct": {
+            "src/coding": 80.1, "src/ctrl": 90.0}})
+        expect(bad == ["src/coding"], f"gate should fail coding: {bad}")
+        missing = run_gate(per_file, {"min_line_coverage_pct": {
+            "src/vnf": 1.0}})
+        expect(missing == ["src/vnf"], f"gate should fail unmeasured: {missing}")
+
+        # Update: floors measured-minus-margin to one decimal.
+        baseline_path = os.path.join(tmp, "baseline.json")
+        baseline = {"min_line_coverage_pct": {"src/coding": 0.0,
+                                              "src/ctrl": 0.0}}
+        rc = update_baseline(per_file, baseline, baseline_path, margin=2.0)
+        expect(rc == 0, "update should succeed")
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            written = json.load(fh)["min_line_coverage_pct"]
+        expect(written == {"src/coding": 78.0, "src/ctrl": 88.0},
+               f"update floors: {written}")
+
+    if failures:
+        for f in failures:
+            print(f"coverage-gate self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("coverage-gate self-test: OK")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", nargs="?",
+                    help="coverage report (file or gcov-json directory)")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--format", choices=sorted(READERS), default=None)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the measured values")
+    ap.add_argument("--margin", type=float, default=2.0,
+                    help="safety margin subtracted on --update (pct points)")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.report:
+        ap.error("REPORT is required unless --self-test")
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        fmt = args.format or detect_format(args.report)
+        per_file = READERS[fmt](args.report)
+    except (OSError, ValueError, KeyError) as err:
+        print(f"coverage-gate: {err}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        return update_baseline(per_file, baseline, args.baseline, args.margin)
+    failures = run_gate(per_file, baseline)
+    if failures:
+        print(f"coverage-gate: FAILED for {', '.join(failures)}; "
+              "add tests (or, after review, refresh with --update)",
+              file=sys.stderr)
+        return 1
+    print("coverage-gate: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -28,6 +28,11 @@
 //   raw-bytes            memcpy/memmove/reinterpret_cast only inside
 //                        the approved byte-view header
 //                        (src/coding/byteview.hpp)
+//   throwing-numparse    no std::sto* / atoi / strtol-family string→
+//                        number conversion outside the approved checked
+//                        helper (src/coding/strparse.hpp) — control-
+//                        plane text is untrusted; parsers must be total
+//                        functions, not throw or accept trailing garbage
 //
 // Escape hatch: a line carrying the comment
 //     // ncfn-lint: allow(<rule>[,<rule>...]) — <justification>
@@ -89,6 +94,9 @@ constexpr Rule kRules[] = {
     {"raw-bytes", Scope::kEverywhere,
      "raw memcpy/memmove/reinterpret_cast outside the approved byte-view "
      "header (src/coding/byteview.hpp)"},
+    {"throwing-numparse", Scope::kEverywhere,
+     "throwing/unchecked string-to-number conversion; use "
+     "coding::parse_num<T> (src/coding/strparse.hpp)"},
 };
 
 // Files exempt from a rule by design (normalized path suffix match).
@@ -103,6 +111,10 @@ constexpr FileException kFileExceptions[] = {
     // The seeded-RNG module is the one place allowed to talk about raw
     // engine words (it still must not touch random_device).
     {"unseeded-rng", "src/coding/rng_fill.hpp"},
+    // The checked-parse helper is the sanctioned home of string→number
+    // conversion (it uses std::from_chars, but the ban is on the whole
+    // conversion family by site, not by spelling).
+    {"throwing-numparse", "src/coding/strparse.hpp"},
 };
 
 constexpr const char* kHotPathDirs[] = {"src/gf/", "src/coding/",
@@ -261,6 +273,17 @@ bool matches_raw_bytes(const std::string& code) {
   return std::regex_search(code, re);
 }
 
+bool matches_throwing_numparse(const std::string& code) {
+  // std::stoi/stol/stoul/stod/... (throwing), the atoi family (no error
+  // reporting at all) and the strtol family (errno-based) — every
+  // string→number conversion that is not parse_num's from_chars.
+  static const std::regex re(
+      "std::sto(i|l|ll|ul|ull|f|d|ld)\\s*\\("
+      "|(^|[^_\\w])ato(i|l|ll|f)\\s*\\("
+      "|(^|[^_\\w])strto(l|ll|ul|ull|f|d|ld|imax|umax)\\s*\\(");
+  return std::regex_search(code, re);
+}
+
 /// Emits-trace/metrics heuristic for the unordered-iteration rule.
 bool emits_observable_output(const std::string& text) {
   return text.find("EventTrace") != std::string::npos ||
@@ -388,6 +411,8 @@ std::vector<Finding> lint_file(const fs::path& file, bool ignore_scopes) {
         hit = matches_iostream(ln.code);
       } else if (id == "raw-bytes") {
         hit = matches_raw_bytes(ln.code);
+      } else if (id == "throwing-numparse") {
+        hit = matches_throwing_numparse(ln.code);
       }
       if (hit && !allowed(rule.id)) {
         findings.push_back({path, i + 1, rule.id, rule.message});

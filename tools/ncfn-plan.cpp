@@ -7,8 +7,11 @@
 // (the forwarding tables the controller would push). See
 // tools/scenarios/ for examples of the file format.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "coding/strparse.hpp"
 
 #include "app/config.hpp"
 #include "ctrl/problem.hpp"
@@ -26,7 +29,12 @@ int main(int argc, char** argv) {
   int quantize_blocks = 0;
   for (int i = 2; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--quantize") == 0) {
-      quantize_blocks = std::atoi(argv[i + 1]);
+      const auto v = coding::parse_num<int>(argv[i + 1]);
+      if (!v) {
+        std::fprintf(stderr, "bad value for --quantize: '%s'\n", argv[i + 1]);
+        return 2;
+      }
+      quantize_blocks = *v;
     }
   }
 

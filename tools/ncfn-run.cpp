@@ -17,10 +17,13 @@
 // are rewired onto the new plan mid-run (recovery latency lands in the
 // app.recovery_time_s histogram).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "coding/strparse.hpp"
 
 #include "app/config.hpp"
 #include "app/provider.hpp"
@@ -30,6 +33,20 @@
 #include "netsim/loss.hpp"
 
 using namespace ncfn;
+
+namespace {
+/// Parse a numeric CLI value or die with a usage error (no silent
+/// atoi-style zero on garbage).
+template <typename T>
+T arg_num(const char* flag, const char* value) {
+  const auto v = coding::parse_num<T>(value);
+  if (!v) {
+    std::fprintf(stderr, "bad value for %s: '%s'\n", flag, value);
+    std::exit(2);
+  }
+  return *v;
+}
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
@@ -45,11 +62,17 @@ int main(int argc, char** argv) {
   std::uint32_t seed = 7;
   std::string metrics_out, trace_out;
   for (int i = 2; i + 1 < argc; i += 2) {
-    if (std::strcmp(argv[i], "--duration") == 0) duration = std::atof(argv[i + 1]);
-    if (std::strcmp(argv[i], "--redundancy") == 0) redundancy = std::atoi(argv[i + 1]);
-    if (std::strcmp(argv[i], "--loss") == 0) loss = std::atof(argv[i + 1]);
+    if (std::strcmp(argv[i], "--duration") == 0) {
+      duration = arg_num<double>("--duration", argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--redundancy") == 0) {
+      redundancy = arg_num<int>("--redundancy", argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--loss") == 0) {
+      loss = arg_num<double>("--loss", argv[i + 1]);
+    }
     if (std::strcmp(argv[i], "--seed") == 0) {
-      seed = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+      seed = arg_num<std::uint32_t>("--seed", argv[i + 1]);
     }
     if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
     if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
