@@ -187,7 +187,7 @@ void BM_DecodeGeneration(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(p.generation_bytes()));
 }
-BENCHMARK(BM_DecodeGeneration)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_DecodeGeneration)->Arg(2)->Arg(4)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_Recode(benchmark::State& state) {
   const auto g = static_cast<std::size_t>(state.range(0));
@@ -207,7 +207,7 @@ void BM_Recode(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() *
                           static_cast<std::int64_t>(p.block_size));
 }
-BENCHMARK(BM_Recode)->Arg(2)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_Recode)->Arg(2)->Arg(4)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_HeaderSerializeParse(benchmark::State& state) {
   coding::CodingParams p;

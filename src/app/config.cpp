@@ -227,6 +227,20 @@ struct LineParser {
       }
       return true;
     }
+    if (keyword == "batch") {
+      std::string v;
+      double n = 0;
+      if (!(in >> v) || !parse_double(v, n) || n < 1 ||
+          n != static_cast<double>(static_cast<std::size_t>(n))) {
+        return fail("batch needs a positive integer");
+      }
+      if (n > static_cast<double>(coding::kBatchCapacity)) {
+        return fail("batch exceeds the PacketBatch capacity of " +
+                    std::to_string(coding::kBatchCapacity));
+      }
+      scenario.max_batch = static_cast<std::size_t>(n);
+      return true;
+    }
     return fail("unknown keyword '" + keyword + "'");
   }
 };

@@ -4,6 +4,7 @@
 //
 //   # comments and blank lines are ignored
 //   alpha 20                                # VNF cost (Mbps-equivalent)
+//   batch 32                                # VNF lane batch size (1..32)
 //   node V1 host [bin=400] [bout=500]       # caps in Mbps, optional
 //   node O1 dc bin=200 bout=200 cap=200     # cap = C(v), coding rate
 //   edge V1 O1 30 35                        # delay_ms capacity_Mbps
@@ -26,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "coding/batch.hpp"
 #include "ctrl/problem.hpp"
 #include "graph/topology.hpp"
 
@@ -53,6 +55,10 @@ struct Scenario {
   std::vector<LinkFailure> failures;
   std::vector<VnfCrash> crashes;
   double alpha = 20.0;
+  /// VNF lane batch size (`batch <n>`, 1..coding::kBatchCapacity):
+  /// packets drained per lane service event. 1 = strict per-packet
+  /// processing (the pre-batching baseline).
+  std::size_t max_batch = coding::kBatchCapacity;
 
   [[nodiscard]] std::string node_name(graph::NodeIdx idx) const;
 };

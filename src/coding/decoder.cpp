@@ -29,12 +29,42 @@ Decoder::Decoder(SessionId session, GenerationId generation,
       pool_(std::move(pool)),
       pivots_(g_) {}
 
+void Decoder::install_pivot(CodedPacket&& row, std::size_t c) {
+  pivots_[c] = std::move(row);
+  ++rank_;
+  if (obs_ != nullptr) {
+    obs_->packets_innovative->inc();
+    if (rank_ == g_) {
+      obs_->generations_decoded->inc();
+      obs_->trace->gen_decode(obs_->node, session_, generation_, seen_);
+    }
+  }
+}
+
 bool Decoder::add(const CodedPacket& pkt) {
   assert(pkt.session == session_ && pkt.generation == generation_);
   assert(pkt.coeff_count() == g_ && pkt.payload_size() == block_size_);
   ++seen_;
   if (obs_ != nullptr) obs_->packets_seen->inc();
   if (complete()) return false;
+
+  // Systematic fast path: an identity-coefficient arrival whose column
+  // has no pivot yet is already a fully-reduced unit row (every
+  // coefficient past the pivot is zero), so elimination cannot change it
+  // — copy it straight into place. When the column is occupied the
+  // general path below reduces it as usual.
+  if (systematic_fastpath_) {
+    if (const auto idx = pkt.systematic_index();
+        idx.has_value() && !pivots_[*idx].has_value()) {
+      CodedPacket row;
+      row.session = session_;
+      row.generation = generation_;
+      row.acquire(g_, block_size_, pool_);
+      copy_bytes(row.row(), pkt.row());
+      install_pivot(std::move(row), *idx);
+      return true;
+    }
+  }
 
   // Copy the arrival into a pooled working row; all elimination below is
   // fused over the contiguous [coeffs | payload] region.
@@ -54,15 +84,7 @@ bool Decoder::add(const CodedPacket& pkt) {
     }
     // New pivot at column c: normalize leading coefficient to 1.
     if (lead != 1) gf::bulk_mul(row.row(), gf::inv(lead));
-    pivots_[c] = std::move(row);
-    ++rank_;
-    if (obs_ != nullptr) {
-      obs_->packets_innovative->inc();
-      if (rank_ == g_) {
-        obs_->generations_decoded->inc();
-        obs_->trace->gen_decode(obs_->node, session_, generation_, seen_);
-      }
-    }
+    install_pivot(std::move(row), c);
     return true;
   }
   return false;  // reduced to zero: linearly dependent
@@ -109,6 +131,83 @@ CodedPacket Decoder::recode(std::mt19937& rng) const {
                     c4[j]);
   }
   return out;
+}
+
+void Decoder::recode_batch(std::mt19937& rng, std::size_t k,
+                           PacketBatch& out) const {
+  assert(rank_ >= 1);
+  assert(k <= out.room());
+  assert(g_ <= 256);
+  if (k == 0) return;
+  if (obs_ != nullptr) obs_->recode_ops->inc(k);
+
+  // Scan the pivot set once per batch instead of once per output packet.
+  const std::uint8_t* rows[256];
+  std::uint16_t cols[256];
+  std::size_t npiv = 0;
+  for (std::size_t c = 0; c < g_; ++c) {
+    if (pivots_[c].has_value()) {
+      rows[npiv] = pivots_[c]->row().data();
+      cols[npiv] = static_cast<std::uint16_t>(c);
+      ++npiv;
+    }
+  }
+
+  // One coefficient block for the whole batch. fill_random_bytes slices
+  // each 32-bit Twister word into four bytes and discards the remainder
+  // of a partial tail word, so a single fill of k*g bytes consumes the
+  // exact byte stream of k successive g-byte fills iff g % 4 == 0; for
+  // other g we fill row slices sequentially to keep recode_batch
+  // draw-for-draw identical to k recode() calls. (If a rejection redraw
+  // fires below — all present-pivot weights zero, probability 256^-rank —
+  // the single-fill ordering appends the redraw instead of interleaving
+  // it; k == 1 is always exactly equivalent.)
+  std::uint8_t weights[kBatchCapacity * 256];
+  const std::span<std::uint8_t> block(weights, k * g_);
+  if (g_ % 4 == 0) {
+    detail::fill_random_bytes(block, rng);
+  } else {
+    for (std::size_t j = 0; j < k; ++j) {
+      detail::fill_random_bytes(block.subspan(j * g_, g_), rng);
+    }
+  }
+
+  for (std::size_t j = 0; j < k; ++j) {
+    std::uint8_t* w = weights + j * g_;
+    // Redraw this row's slice if every weight on a present pivot came
+    // out zero (recode()'s rejection loop).
+    for (;;) {
+      bool any = false;
+      for (std::size_t i = 0; i < npiv; ++i) {
+        if (w[cols[i]] != 0) {
+          any = true;
+          break;
+        }
+      }
+      if (any) break;
+      detail::fill_random_bytes(std::span<std::uint8_t>(w, g_), rng);
+    }
+    CodedPacket& pkt = out.emplace(g_, block_size_, pool_);
+    pkt.session = session_;
+    pkt.generation = generation_;
+    const std::uint8_t* src[4];
+    std::uint8_t c4[4];
+    int m = 0;
+    for (std::size_t i = 0; i < npiv; ++i) {
+      if (w[cols[i]] == 0) continue;
+      src[m] = rows[i];
+      c4[m] = w[cols[i]];
+      if (++m == 4) {
+        gf::bulk_muladd_x4(pkt.row(), src, c4);
+        m = 0;
+      }
+    }
+    for (int t = 0; t < m; ++t) {
+      gf::bulk_muladd(pkt.row(),
+                      std::span<const std::uint8_t>(src[t], pkt.row().size()),
+                      c4[t]);
+    }
+  }
 }
 
 std::vector<std::vector<std::uint8_t>> Decoder::recover() const {

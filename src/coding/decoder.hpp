@@ -19,6 +19,7 @@
 #include <random>
 #include <vector>
 
+#include "coding/batch.hpp"
 #include "coding/packet.hpp"
 #include "coding/pool.hpp"
 #include "coding/types.hpp"
@@ -71,6 +72,19 @@ class Decoder {
   /// far (relay recoding). Precondition: rank() >= 1.
   [[nodiscard]] CodedPacket recode(std::mt19937& rng) const;
 
+  /// Batched recoding: append `k` fresh random combinations to `out`
+  /// (k <= out.room()). One call draws the whole k x g coefficient block
+  /// from `rng` and walks the stored pivot set once, so the RNG, the
+  /// present-pivot scan and the obs updates amortize across the batch;
+  /// the byte stream drawn from `rng` is identical to k successive
+  /// recode() calls. Precondition: rank() >= 1.
+  void recode_batch(std::mt19937& rng, std::size_t k, PacketBatch& out) const;
+
+  /// Tests only: disable the systematic (identity-coefficient) ingest
+  /// fast path so differential suites can compare it against the general
+  /// elimination path.
+  void set_systematic_fastpath(bool on) { systematic_fastpath_ = on; }
+
   /// Recover the original blocks. Precondition: complete().
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> recover() const;
 
@@ -79,6 +93,9 @@ class Decoder {
   void set_obs(const CodingObs* obs) { obs_ = obs; }
 
  private:
+  /// Adopt `row` as the pivot for column `c` and account the rank gain.
+  void install_pivot(CodedPacket&& row, std::size_t c);
+
   SessionId session_;
   GenerationId generation_;
   std::size_t g_;
@@ -87,6 +104,7 @@ class Decoder {
   std::size_t seen_ = 0;
   PacketPool pool_;
   const CodingObs* obs_ = nullptr;
+  bool systematic_fastpath_ = true;
   // pivots_[c]: contiguous [coeffs | payload] row with leading 1 at column c
   std::vector<std::optional<CodedPacket>> pivots_;
 };

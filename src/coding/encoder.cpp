@@ -23,6 +23,37 @@ CodedPacket Encoder::encode_random() {
   return pkt;
 }
 
+void Encoder::encode_random_batch(std::size_t k, PacketBatch& out) {
+  const std::size_t g = generation_->block_count();
+  assert(k <= out.room());
+  assert(g <= 256);
+  if (k == 0) return;
+  // One coefficient block for the whole batch (see Decoder::recode_batch
+  // for the g % 4 draw-order note); an all-zero row redraws just its own
+  // slice, mirroring encode_random()'s rejection loop.
+  std::uint8_t coeffs[kBatchCapacity * 256];
+  const std::span<std::uint8_t> block(coeffs, k * g);
+  if (g % 4 == 0) {
+    detail::fill_random_bytes(block, *rng_);
+  } else {
+    for (std::size_t j = 0; j < k; ++j) {
+      detail::fill_random_bytes(block.subspan(j * g, g), *rng_);
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto cs = block.subspan(j * g, g);
+    while (std::all_of(cs.begin(), cs.end(),
+                       [](std::uint8_t c) { return c == 0; })) {
+      detail::fill_random_bytes(cs, *rng_);
+    }
+    CodedPacket& pkt = out.emplace(g, generation_->block_size(), pool_);
+    pkt.session = session_;
+    pkt.generation = generation_->id();
+    std::ranges::copy(cs, pkt.coeffs().begin());
+    encode_payload(pkt);
+  }
+}
+
 CodedPacket Encoder::encode_systematic(std::size_t i) {
   const std::size_t g = generation_->block_count();
   assert(i < g);

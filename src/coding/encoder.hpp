@@ -15,6 +15,7 @@
 
 #include <random>
 
+#include "coding/batch.hpp"
 #include "coding/generation.hpp"
 #include "coding/packet.hpp"
 #include "coding/pool.hpp"
@@ -33,6 +34,12 @@ class Encoder {
   /// Emit one random coded packet. The coefficient vector is redrawn if it
   /// comes out all-zero (probability 2^-8g, but correctness demands it).
   [[nodiscard]] CodedPacket encode_random();
+
+  /// Batched source coding: append `k` random coded packets to `out`
+  /// (k <= out.room()). Draws one k x g coefficient block per call so the
+  /// RNG fill amortizes across the batch; for g % 4 == 0 the draw stream
+  /// matches k successive encode_random() calls.
+  void encode_random_batch(std::size_t k, PacketBatch& out);
 
   /// Emit original block `i` as a systematic packet (unit coefficients).
   [[nodiscard]] CodedPacket encode_systematic(std::size_t i);

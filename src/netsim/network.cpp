@@ -118,8 +118,103 @@ void Link::transmit(Datagram d) {
   });
 }
 
+void Link::transmit_burst(std::span<Datagram> burst) {
+  if (burst.empty()) return;
+  if (burst.size() == 1) {
+    transmit(std::move(burst.front()));
+    return;
+  }
+  Simulator& sim = net_.sim();
+
+  // Per-packet admission, exactly as transmit(): loss model draws happen
+  // in arrival order, every drop keeps its own trace line. Survivors move
+  // into the burst vector that rides the shared delivery event.
+  std::vector<Datagram> committed;
+  committed.reserve(burst.size());
+  std::uint64_t enqueued = 0;
+  double burst_tx = 0.0;
+  for (Datagram& d : burst) {
+    ++stats_.offered;
+    if (!up_) {
+      ++stats_.dropped_down;
+      if (m_drop_down_ != nullptr) m_drop_down_->inc();
+      if (trace_ != nullptr) {
+        trace_->packet_drop(from_, to_, d.wire_bytes(), "down");
+      }
+      net_.recycle_buffer(std::move(d.payload));
+      continue;
+    }
+    if (loss_ && loss_->drop(net_.rng())) {
+      ++stats_.dropped_loss;
+      if (m_drop_loss_ != nullptr) m_drop_loss_->inc();
+      if (trace_ != nullptr) {
+        trace_->packet_drop(from_, to_, d.wire_bytes(), "loss");
+      }
+      net_.recycle_buffer(std::move(d.payload));
+      continue;
+    }
+    if (queued_ >= queue_limit_) {
+      ++stats_.dropped_queue;
+      if (m_drop_queue_ != nullptr) m_drop_queue_->inc();
+      if (trace_ != nullptr) {
+        trace_->packet_drop(from_, to_, d.wire_bytes(), "queue");
+      }
+      net_.recycle_buffer(std::move(d.payload));
+      continue;
+    }
+    const double bits = static_cast<double>(d.wire_bytes()) * 8.0;
+    const Time start = std::max(sim.now(), busy_until_);
+    busy_until_ = start + bits / capacity_bps_;
+    burst_tx += bits / capacity_bps_;
+    ++queued_;
+    ++enqueued;
+    if (trace_ != nullptr) {
+      trace_->packet_enqueue(from_, to_, d.wire_bytes(), queued_);
+    }
+    committed.push_back(std::move(d));
+  }
+  if (committed.empty()) return;
+  const std::size_t n = committed.size();
+  if (m_enqueued_ != nullptr) {
+    m_enqueued_->inc(enqueued);
+    m_queue_depth_->set(static_cast<double>(queued_));
+    m_busy_s_->add(burst_tx);
+  }
+
+  // One departure for the burst's tail packet (scheduled first, so a
+  // zero-delay delivery at the same timestamp observes the drained
+  // queue, matching transmit()'s ordering)...
+  sim.schedule_at(busy_until_, [self = weak_from_this(), n] {
+    if (auto link = self.lock()) link->burst_departure(n);
+  });
+
+  // ...and one delivery with a single jitter draw for the whole burst.
+  Time deliver_at = busy_until_ + prop_delay_;
+  if (jitter_ > 0) {
+    deliver_at += std::uniform_real_distribution<Time>(0, jitter_)(net_.rng());
+  }
+  stats_.in_flight += n;
+  sim.schedule_at(deliver_at, [self = weak_from_this(), net = &net_,
+                               epoch = down_epoch_,
+                               pkts = std::move(committed)]() mutable {
+    if (auto link = self.lock()) {
+      link->complete_burst_delivery(std::move(pkts), epoch);
+    } else {
+      for (Datagram& p : pkts) net->recycle_buffer(std::move(p.payload));
+    }
+  });
+}
+
 void Link::serializer_departure() {
   --queued_;
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->set(static_cast<double>(queued_));
+  }
+}
+
+void Link::burst_departure(std::size_t n) {
+  assert(queued_ >= n);
+  queued_ -= n;
   if (m_queue_depth_ != nullptr) {
     m_queue_depth_->set(static_cast<double>(queued_));
   }
@@ -150,6 +245,39 @@ void Link::complete_delivery(Datagram pkt, std::uint64_t epoch) {
   // Handlers see the datagram by const reference (and copy what they
   // keep), so the payload storage can go back to the pool.
   net_.recycle_buffer(std::move(pkt.payload));
+}
+
+void Link::complete_burst_delivery(std::vector<Datagram> pkts,
+                                   std::uint64_t epoch) {
+  stats_.in_flight -= pkts.size();
+  if (epoch != down_epoch_) {
+    // The link went down while the burst was committed to the wire; every
+    // packet in it is lost together.
+    stats_.dropped_down += pkts.size();
+    if (m_drop_down_ != nullptr) m_drop_down_->inc(pkts.size());
+    for (Datagram& p : pkts) {
+      if (trace_ != nullptr) {
+        trace_->packet_drop(from_, to_, p.wire_bytes(), "down");
+      }
+      net_.recycle_buffer(std::move(p.payload));
+    }
+    return;
+  }
+  std::uint64_t bytes = 0;
+  for (const Datagram& p : pkts) {
+    ++stats_.delivered;
+    stats_.bytes_delivered += p.wire_bytes();
+    bytes += p.wire_bytes();
+    if (trace_ != nullptr) {
+      trace_->packet_deliver(from_, to_, p.wire_bytes(), queued_);
+    }
+  }
+  if (m_delivered_ != nullptr) {
+    m_delivered_->inc(pkts.size());
+    m_bytes_->inc(bytes);
+  }
+  net_.deliver_burst(pkts);
+  for (Datagram& p : pkts) net_.recycle_buffer(std::move(p.payload));
 }
 
 NodeId Network::add_node(std::string name) {
@@ -205,6 +333,14 @@ void Network::unbind(NodeId node, Port port) {
   handlers_.erase({node, port});
 }
 
+void Network::bind_burst(NodeId node, Port port, BurstHandler handler) {
+  burst_handlers_[{node, port}] = std::move(handler);
+}
+
+void Network::unbind_burst(NodeId node, Port port) {
+  burst_handlers_.erase({node, port});
+}
+
 bool Network::send(Datagram d) {
   Link* l = link(d.src, d.dst);
   if (l == nullptr) {
@@ -213,6 +349,30 @@ bool Network::send(Datagram d) {
   }
   l->transmit(std::move(d));
   return true;
+}
+
+void Network::send_burst(std::vector<Datagram>&& burst) {
+  // Consecutive same-(src, dst) runs share one link lookup and one
+  // transmit_burst; the common case (a lane flushing to one next hop) is
+  // a single run.
+  std::size_t i = 0;
+  while (i < burst.size()) {
+    std::size_t j = i + 1;
+    while (j < burst.size() && burst[j].src == burst[i].src &&
+           burst[j].dst == burst[i].dst) {
+      ++j;
+    }
+    Link* l = link(burst[i].src, burst[i].dst);
+    if (l == nullptr) {
+      for (std::size_t k = i; k < j; ++k) {
+        recycle_buffer(std::move(burst[k].payload));
+      }
+    } else {
+      l->transmit_burst(std::span<Datagram>(burst).subspan(i, j - i));
+    }
+    i = j;
+  }
+  burst.clear();
 }
 
 std::vector<std::string> Network::audit_conservation() const {
@@ -250,6 +410,23 @@ void Network::deliver(const Datagram& d) {
   auto it = handlers_.find({d.dst, d.dst_port});
   if (it != handlers_.end()) it->second(d);
   // No binding: silently dropped, like a closed UDP port.
+}
+
+void Network::deliver_burst(std::span<Datagram> burst) {
+  if (burst.empty()) return;
+  if (!node_up(burst.front().dst)) return;  // one link => one dst node
+  std::size_t i = 0;
+  while (i < burst.size()) {
+    std::size_t j = i + 1;
+    while (j < burst.size() && burst[j].dst_port == burst[i].dst_port) ++j;
+    if (auto it = burst_handlers_.find({burst[i].dst, burst[i].dst_port});
+        it != burst_handlers_.end()) {
+      it->second(burst.subspan(i, j - i));
+    } else {
+      for (std::size_t k = i; k < j; ++k) deliver(burst[k]);
+    }
+    i = j;
+  }
 }
 
 std::optional<Time> Network::ping_rtt(NodeId a, NodeId b,

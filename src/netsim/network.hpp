@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,17 @@ class Link : public std::enable_shared_from_this<Link> {
   /// Queue a datagram for transmission. Applies loss model and tail drop.
   void transmit(Datagram d);
 
+  /// Queue a burst of datagrams back-to-back. Admission (loss model, tail
+  /// drop, down check) and traces stay per-packet, but the burst shares
+  /// ONE serializer-departure event (the egress queue shrinks by the whole
+  /// burst when its last packet leaves the serializer) and ONE delivery
+  /// event with a single jitter draw (all survivors land together, in
+  /// order, at the last packet's delivery time) — the deliberate timing
+  /// coarsening that buys an O(batch) reduction in simulator events. A
+  /// one-packet burst is event-for-event identical to transmit().
+  /// Consumes the spanned datagrams (moves their payloads).
+  void transmit_burst(std::span<Datagram> burst);
+
   /// (Re)bind observability handles; nullptr detaches. Called by Network
   /// on creation and whenever the hub is attached.
   void bind_obs(obs::Observability* obs);
@@ -116,9 +128,14 @@ class Link : public std::enable_shared_from_this<Link> {
   /// Serializer finished pushing one packet onto the wire: the egress
   /// queue shrinks now, not when the packet lands after propagation.
   void serializer_departure();
+  /// Burst variant: the serializer finished the burst's last packet.
+  void burst_departure(std::size_t n);
   /// Propagation finished; deliver unless the link went down (epoch
   /// mismatch) while the packet was in flight.
   void complete_delivery(Datagram pkt, std::uint64_t epoch);
+  /// Burst variant: deliver (or drop, on epoch mismatch) every survivor.
+  void complete_burst_delivery(std::vector<Datagram> pkts,
+                               std::uint64_t epoch);
 
   Network& net_;
   NodeId from_, to_;
@@ -146,6 +163,11 @@ class Link : public std::enable_shared_from_this<Link> {
 
 /// Handler invoked on datagram arrival at a bound (node, port).
 using DatagramHandler = std::function<void(const Datagram&)>;
+
+/// Handler invoked with a whole arriving burst at a bound (node, port).
+/// The span is mutable so batch-aware receivers can steal payloads; any
+/// payload left behind is recycled by the caller.
+using BurstHandler = std::function<void(std::span<Datagram>)>;
 
 class Network {
  public:
@@ -190,9 +212,20 @@ class Network {
   void bind(NodeId node, Port port, DatagramHandler handler);
   void unbind(NodeId node, Port port);
 
+  /// Bind a burst handler at (node, port). When present it receives whole
+  /// arriving bursts in one call; single deliveries and bursts at ports
+  /// without one fall back to the per-datagram handler.
+  void bind_burst(NodeId node, Port port, BurstHandler handler);
+  void unbind_burst(NodeId node, Port port);
+
   /// Send a datagram over the direct link src→dst.
   /// Returns false (and drops) if no such link exists.
   bool send(Datagram d);
+
+  /// Send a burst. Consecutive datagrams sharing (src, dst) ride the same
+  /// link burst (one lookup, one departure + one delivery event — see
+  /// Link::transmit_burst); runs with no link are dropped and recycled.
+  void send_burst(std::vector<Datagram>&& burst);
 
   /// Round-trip time of a small probe on the direct a→b and b→a links:
   /// the `ping` the paper's daemons run periodically. Returns nullopt if
@@ -208,6 +241,10 @@ class Network {
 
   // Internal: called by Link to hand a datagram to the destination node.
   void deliver(const Datagram& d);
+  // Internal: hand a whole burst to the destination node. Consecutive
+  // same-port runs go to that port's burst handler in one call when one
+  // is bound, else datagram-at-a-time to the ordinary handler.
+  void deliver_burst(std::span<Datagram> burst);
 
   /// Packet-conservation audit: one "<from>-><to>: ..." line per link
   /// whose LinkStats fail conserved(). Empty when every link balances.
@@ -235,6 +272,7 @@ class Network {
   std::vector<bool> node_down_;  // lazily grown; default everything up
   std::map<std::pair<NodeId, NodeId>, std::shared_ptr<Link>> links_;
   std::map<std::pair<NodeId, Port>, DatagramHandler> handlers_;
+  std::map<std::pair<NodeId, Port>, BurstHandler> burst_handlers_;
   std::vector<std::vector<std::uint8_t>> buffer_pool_;
 };
 

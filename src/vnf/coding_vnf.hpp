@@ -37,18 +37,34 @@
 // `proc_queue_limit` and overflow is dropped; this is C(v) in the
 // formulation and is what makes large generation sizes collapse in Fig. 4.
 //
+// Batched data plane (the BESS substitution): a lane is a batch server.
+// Arrivals enqueue; each service event drains up to `max_batch` packets
+// as one PacketBatch through a module pipeline (decode-ingest stage, then
+// credit-check/recode-emit stage — see module.hpp), charging the batch
+// k * service_time of lane time. Per-packet *simulated* cost is thus
+// unchanged, but the real-CPU fixed costs — simulator events, RNG draws,
+// map lookups, counter updates, pivot scans — amortize across the batch,
+// and every run of same-(session, generation) packets recodes through one
+// Decoder::recode_batch coefficient-matrix sweep and leaves through one
+// netsim burst (one departure + one delivery event). `max_batch = 1`
+// reproduces strict per-packet operation and is the bench baseline.
+//
 // When a DC runs several VNF instances, "packets belonging to the same
 // generation are dispatched to the same VNF instance" by hashing
 // (session, generation) over the lanes, exactly as in Sec. IV.A.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <random>
+#include <span>
 #include <vector>
 
+#include "coding/batch.hpp"
 #include "coding/buffer.hpp"
 #include "coding/packet.hpp"
 #include "ctrl/signals.hpp"
@@ -74,6 +90,13 @@ struct VnfConfig {
   /// skew between upstream paths; 0 disables deferral (strict per-arrival
   /// emission, the ablation baseline).
   double recode_hold_s = 0.050;
+  /// Largest packet vector a lane drains per service event (clamped to
+  /// [1, coding::kBatchCapacity] at construction). 1 reproduces strict
+  /// per-packet processing — the pre-batching baseline the pps bench
+  /// compares against. Batches larger than 1 only form under lane
+  /// queueing (back-to-back arrivals), so lightly loaded runs behave
+  /// identically at any setting.
+  std::size_t max_batch = coding::kBatchCapacity;
   std::uint32_t seed = 1;
 };
 
@@ -189,17 +212,54 @@ class CodingVnf {
     std::map<coding::GenerationId, GenLedger> ledger;
     VnfSessionStats stats;
   };
+  /// A lane is a batch server: arrivals queue here, and each service
+  /// event drains up to cfg_.max_batch of them through the pipeline.
   struct Lane {
     netsim::Time busy_until = 0;
-    std::size_t queued = 0;
+    std::deque<coding::CodedPacket> queue;
+    bool draining = false;  // a drain event is scheduled
   };
 
+  // Pipeline stages (module.hpp subclasses, defined in coding_vnf.cpp;
+  // nested so they reach the VNF's session/buffer state directly).
+  struct IngestStage;
+  struct EmitStage;
+
+  // Per-packet metadata bits the ingest stage annotates on the batch for
+  // the emit stage (PacketBatch::meta).
+  static constexpr std::uint8_t kMetaInnovative = 0x01;
+  /// First packet of its generation and rank <= 1 after ingest: eligible
+  /// for unchanged pass-through on a recode relay (Sec. III.B.2).
+  static constexpr std::uint8_t kMetaFirstUncoded = 0x02;
+  /// This packet completed the generation's rank.
+  static constexpr std::uint8_t kMetaCompletedNow = 0x04;
+
   void on_datagram(const netsim::Datagram& d);
-  void process(coding::CodedPacket pkt);
-  void emit(SessionState& st, const coding::CodedPacket& arrival,
-            coding::Decoder& dec, bool first_of_generation);
-  void send_recoded(SessionState& st, coding::Decoder& dec, std::size_t hop);
+  void on_burst(std::span<netsim::Datagram> burst);
+  /// Parse + lane admission; returns the lane index or npos on drop.
+  std::size_t enqueue_datagram(const netsim::Datagram& d);
+  /// Refresh the lane-backlog gauge (once per arrival burst, not per
+  /// packet — Gauge::set only stores, intermediate values are invisible).
+  void note_backlog();
+  /// Arm a drain event for the lane if work is queued and none is armed.
+  void start_drain(std::size_t lane);
+  /// Service completion: pop up to k packets and run them as one batch.
+  void drain(std::size_t lane, std::size_t k, std::uint64_t epoch);
+  void run_pipeline(coding::PacketBatch& batch);
+  void ingest_batch(coding::PacketBatch& batch);
+  void emit_batch(coding::PacketBatch& batch);
+  /// Credit accounting + emission for one same-(session, generation) run
+  /// [i, j) of the batch.
+  void credit_run(SessionState& st, coding::PacketBatch& batch,
+                  std::size_t i, std::size_t j, coding::Decoder& dec);
+  /// Emit counts[h] recoded packets to hop h (counts exclude linkless
+  /// hops), generated through recode_batch in kBatchCapacity chunks.
+  void emit_recoded_counts(SessionState& st, coding::Decoder& dec,
+                           std::span<const std::size_t> counts);
   void flush_pending(coding::SessionId session, coding::GenerationId gen);
+  /// Hand the accumulated out_burst_ to the network (no-op inside the
+  /// pipeline, whose epilogue sends exactly once).
+  void flush_burst();
   [[nodiscard]] double service_time() const;
   [[nodiscard]] std::size_t lane_of(coding::SessionId s,
                                     coding::GenerationId g) const;
@@ -219,9 +279,15 @@ class CodingVnf {
   obs::Counter* m_proc_dropped_ = nullptr;
   obs::Counter* m_decoded_ = nullptr;
   obs::Counter* m_crash_dropped_ = nullptr;
+  obs::Counter* m_batches_ = nullptr;  // pipeline runs (lane drains)
   obs::Gauge* m_lane_backlog_ = nullptr;  // packets queued across all lanes
+  obs::Histogram* h_batch_size_ = nullptr;  // packets per pipeline run
   std::size_t queued_total_ = 0;
   std::map<coding::SessionId, SessionState> sessions_;
+  // Arrival-path session cache: bursts are same-session runs, so only
+  // the first packet of a run walks sessions_. Cleared on drop_session.
+  coding::SessionId cached_session_ = 0;
+  SessionState* cached_state_ = nullptr;
   std::vector<Lane> lanes_;
   bool paused_ = false;
   bool crashed_ = false;
@@ -231,6 +297,17 @@ class CodingVnf {
   std::vector<coding::CodedPacket> paused_backlog_;
   DecodeSink sink_;
   PacketTap tap_;
+  // Pipeline wiring and reusable hot-path scratch (no steady-state
+  // allocation: the batches are pooled rows, the vectors keep capacity).
+  std::unique_ptr<IngestStage> stage_ingest_;
+  std::unique_ptr<EmitStage> stage_emit_;
+  coding::PacketBatch batch_;           // lane-drain working batch
+  coding::PacketBatch recode_scratch_;  // recode_batch output staging
+  std::vector<netsim::Datagram> out_burst_;
+  std::vector<std::size_t> recode_counts_;  // per-hop counts in credit runs
+  std::vector<char> hop_link_ok_;           // per-hop link cache per run
+  std::vector<std::size_t> touched_lanes_;  // burst-arrival scratch
+  bool in_pipeline_ = false;
 };
 
 }  // namespace ncfn::vnf

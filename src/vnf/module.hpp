@@ -1,0 +1,64 @@
+// Module/gate pipeline skeleton for the batched VNF data plane (the BESS
+// idiom: a packet-processing graph whose edges carry whole PacketBatches).
+//
+// A Module is one processing stage — header classify, decode-ingest,
+// credit check + recode-emit — that consumes a batch in place and pushes
+// the (possibly annotated, possibly emptied) batch downstream through a
+// numbered output gate. Gates are wired once at pipeline construction;
+// emitting to an unconnected gate discards nothing because the batch stays
+// with the caller — ownership never leaves the synchronous call chain, so
+// a batch's pooled rows are always released by whoever holds it last.
+//
+// This is deliberately minimal: no dynamic graph edits, no per-gate
+// queueing. Stages run synchronously within one lane-drain event; the
+// simulator models the lane's *time* (service charge per batch), the
+// module graph models the lane's *work*.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <string_view>
+
+#include "coding/batch.hpp"
+
+namespace ncfn::vnf {
+
+class Module {
+ public:
+  static constexpr std::size_t kMaxGates = 4;
+
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Run this stage over `batch`. The stage may annotate per-packet
+  /// metadata (batch.meta), drop packets, or consume the batch entirely;
+  /// whatever remains when the stage returns still belongs to the caller.
+  virtual void process(coding::PacketBatch& batch) = 0;
+
+  /// Wire output gate `gate` to `next` (non-owning; the pipeline owner
+  /// keeps every module alive for the wiring's lifetime).
+  void connect(std::size_t gate, Module* next) {
+    assert(gate < kMaxGates);
+    gates_[gate] = next;
+  }
+
+ protected:
+  /// Push `batch` through output gate `gate`; a no-op (batch untouched)
+  /// when the gate is unconnected.
+  void emit(std::size_t gate, coding::PacketBatch& batch) {
+    assert(gate < kMaxGates);
+    if (gates_[gate] != nullptr && !batch.empty()) {
+      gates_[gate]->process(batch);
+    }
+  }
+
+ private:
+  std::array<Module*, kMaxGates> gates_{};
+};
+
+}  // namespace ncfn::vnf

@@ -1,0 +1,16 @@
+// Fixture: batch spellings pass, and allow() suppresses a deliberate
+// single-packet call site.
+struct Batch;
+struct Dec {
+  int recode(int rng);
+  void recode_batch(int rng, unsigned long k, Batch& out);
+};
+
+void good_batched(Dec& dec, int rng, Batch& out) {
+  dec.recode_batch(rng, 32, out);
+}
+
+int tolerated_single(Dec& dec, int rng) {
+  // ncfn-lint: allow(per-packet-kernel) — fixture; repair path sends one
+  return dec.recode(rng);
+}

@@ -1,0 +1,10 @@
+// Fixture: per-packet kernel entry points must be flagged (VNF scope).
+struct Dec {
+  int recode(int rng);
+};
+
+int bad_per_packet_loop(Dec& dec, int rng, int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) sum += dec.recode(rng);
+  return sum;
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Run the end-to-end VNF packets/sec benchmark (batched PacketBatch lane
+# vs the per-packet baseline) and record machine-readable results at the
+# repo root (BENCH_vnf_pps.json). The acceptance bar for the batched data
+# plane is >= 2x items_per_second for BM_VnfRecodeLanePps/32 over
+# BM_VnfRecodeLanePps/1; see DESIGN.md "Batched data plane".
+#
+# Usage: tools/bench_vnf.sh [build-dir] [extra benchmark args...]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bin="$build_dir/bench/bench_vnf_pps"
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not built (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+exec "$bin" \
+  --benchmark_out="$repo_root/BENCH_vnf_pps.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=1 \
+  --benchmark_repetitions=3 \
+  "$@"

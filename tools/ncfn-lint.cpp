@@ -33,6 +33,13 @@
 //                        helper (src/coding/strparse.hpp) — control-
 //                        plane text is untrusted; parsers must be total
 //                        functions, not throw or accept trailing garbage
+//   per-packet-kernel    no per-packet kernel entry points in the VNF
+//                        hot path (src/vnf) — gf::bulk_* sweeps,
+//                        Decoder::recode and Encoder::encode_random
+//                        belong behind the batch APIs (recode_batch,
+//                        encode_random_batch) so the coefficient draw
+//                        and dispatch overhead amortize over a
+//                        PacketBatch instead of recurring per packet
 //
 // Escape hatch: a line carrying the comment
 //     // ncfn-lint: allow(<rule>[,<rule>...]) — <justification>
@@ -68,6 +75,7 @@ enum class Scope {
   kEverywhere,   // all scanned files
   kObsEmitters,  // files that emit trace/metrics output
   kHotPath,      // src/gf, src/coding, src/netsim
+  kVnfHotPath,   // src/vnf — the batched data plane
 };
 
 struct Rule {
@@ -97,6 +105,10 @@ constexpr Rule kRules[] = {
     {"throwing-numparse", Scope::kEverywhere,
      "throwing/unchecked string-to-number conversion; use "
      "coding::parse_num<T> (src/coding/strparse.hpp)"},
+    {"per-packet-kernel", Scope::kVnfHotPath,
+     "per-packet kernel entry point in the VNF hot path; use the batch "
+     "APIs (Decoder::recode_batch / Encoder::encode_random_batch) so the "
+     "sweep amortizes over a PacketBatch"},
 };
 
 // Files exempt from a rule by design (normalized path suffix match).
@@ -273,6 +285,18 @@ bool matches_raw_bytes(const std::string& code) {
   return std::regex_search(code, re);
 }
 
+bool matches_per_packet_kernel(const std::string& code) {
+  // Direct kernel sweeps (gf::bulk_*), single-packet recode and
+  // single-packet random encode. The batch spellings (recode_batch,
+  // encode_random_batch) do not match: the identifier continues with
+  // '_' where these patterns require '('.
+  static const std::regex re(
+      "gf::bulk_\\w+\\s*\\("
+      "|(\\.|->)recode\\s*\\("
+      "|(^|[^_\\w])encode_random\\s*\\(");
+  return std::regex_search(code, re);
+}
+
 bool matches_throwing_numparse(const std::string& code) {
   // std::stoi/stol/stoul/stod/... (throwing), the atoi family (no error
   // reporting at all) and the strtol family (errno-based) — every
@@ -361,6 +385,8 @@ bool rule_applies(const Rule& rule, const std::string& path,
         if (path.find(dir) != std::string::npos) return true;
       }
       return false;
+    case Scope::kVnfHotPath:
+      return path.find("src/vnf/") != std::string::npos;
   }
   return false;
 }
@@ -413,6 +439,8 @@ std::vector<Finding> lint_file(const fs::path& file, bool ignore_scopes) {
         hit = matches_raw_bytes(ln.code);
       } else if (id == "throwing-numparse") {
         hit = matches_throwing_numparse(ln.code);
+      } else if (id == "per-packet-kernel") {
+        hit = matches_per_packet_kernel(ln.code);
       }
       if (hit && !allowed(rule.id)) {
         findings.push_back({path, i + 1, rule.id, rule.message});

@@ -119,6 +119,7 @@ int main(int argc, char** argv) {
         params));
     app::SessionWiring wiring;
     wiring.vnf.params = params;
+    wiring.vnf.max_batch = scenario->max_batch;
     wiring.redundancy = redundancy;
     wiring.seed = seed + static_cast<std::uint32_t>(m) * 101;
     sessions.push_back(std::make_unique<app::NcMulticastSession>(
