@@ -241,6 +241,16 @@ struct LineParser {
       scenario.max_batch = static_cast<std::size_t>(n);
       return true;
     }
+    if (keyword == "workers") {
+      std::string v;
+      double n = 0;
+      if (!(in >> v) || !parse_double(v, n) || n < 1 ||
+          n != static_cast<double>(static_cast<std::size_t>(n))) {
+        return fail("workers needs a positive integer");
+      }
+      scenario.workers = static_cast<std::size_t>(n);
+      return true;
+    }
     return fail("unknown keyword '" + keyword + "'");
   }
 };

@@ -1,0 +1,72 @@
+#include "netsim/worker.hpp"
+
+namespace ncfn::netsim {
+
+std::size_t WorkerPool::hardware_workers() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+WorkerPool::WorkerPool(std::size_t workers)
+    : workers_(workers == 0 ? 1 : workers) {
+  if (workers_ == 1) return;  // inline mode: no threads at all
+  threads_.reserve(workers_);
+  for (std::size_t lane = 0; lane < workers_; ++lane) {
+    threads_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  if (threads_.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::run(std::size_t jobs,
+                     const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) return;
+  if (workers_ == 1 || jobs == 1) {
+    // Inline reference path: same job order a one-lane pool would use.
+    for (std::size_t j = 0; j < jobs; ++j) fn(j);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  jobs_ = jobs;
+  fn_ = &fn;
+  lanes_done_ = 0;
+  ++generation_;
+  lock.unlock();
+  work_cv_.notify_all();
+  lock.lock();
+  done_cv_.wait(lock, [this] { return lanes_done_ == workers_; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::worker_main(std::size_t lane) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock,
+                  [&] { return stop_ || generation_ != seen_generation; });
+    if (stop_) return;
+    seen_generation = generation_;
+    const std::size_t jobs = jobs_;
+    const std::function<void(std::size_t)>* fn = fn_;
+    lock.unlock();
+    // Static stride assignment: lane w owns jobs w, w+W, w+2W, ... —
+    // deterministic, disjoint, and independent of scheduling order.
+    for (std::size_t j = lane; j < jobs; j += workers_) (*fn)(j);
+    lock.lock();
+    ++lanes_done_;
+    if (lanes_done_ == workers_) {
+      lock.unlock();
+      done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace ncfn::netsim

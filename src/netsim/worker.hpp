@@ -1,0 +1,67 @@
+// Barrier-synchronized worker pool — the ONLY sanctioned home of raw
+// threading primitives in the tree (ncfn-lint's raw-thread rule bans
+// std::thread / std::async / bare mutexes everywhere else, so
+// nondeterministic concurrency cannot leak into the data plane; this
+// file and worker.cpp are the rule's two src exceptions).
+//
+// Model (BESS master/worker split, core/master.cc + core/worker.h): a
+// fixed set of worker lanes executes a batch of independent jobs — one
+// job per simulation shard — and the caller blocks on a barrier until
+// every lane has drained its share. Determinism contract: job j always
+// maps to lane (j % workers), lanes never share jobs, and jobs must
+// touch disjoint state; under those rules the result of run() is a pure
+// function of the jobs themselves, so the SAME seed produces the SAME
+// bytes whether the pool has 1, 2 or 8 workers. A one-worker pool runs
+// every job inline on the calling thread — no threads are ever spawned —
+// which is what makes `--workers 1` the bit-exact reference for the
+// worker-count determinism gate.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ncfn::netsim {
+
+class WorkerPool {
+ public:
+  /// A pool with `workers` lanes (clamped to >= 1). With one lane no
+  /// thread is ever created; run() degrades to a plain loop.
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+  /// Hardware thread count, clamped to >= 1 (hardware_concurrency may
+  /// report 0). Callers size pools with this instead of naming
+  /// std::thread themselves (which the raw-thread lint rule would flag).
+  [[nodiscard]] static std::size_t hardware_workers();
+
+  /// Execute fn(0) .. fn(jobs-1), job j on lane (j % workers), and
+  /// barrier until all jobs have finished. Jobs MUST NOT touch shared
+  /// mutable state: each job owns its shard outright. fn must not throw
+  /// (an escaped exception on a lane terminates the process).
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_main(std::size_t lane);
+
+  std::size_t workers_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  // bumped once per run() dispatch
+  std::size_t jobs_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t lanes_done_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ncfn::netsim

@@ -1,0 +1,96 @@
+#include "obs/merge.hpp"
+
+#include <cstddef>
+#include <string_view>
+
+namespace ncfn::obs {
+
+namespace {
+
+constexpr std::string_view kStampPrefix = "{\"t\":";
+
+/// The "%.9f" timestamp text of the JSONL line starting at `pos`.
+/// Empty view if the line is not EventTrace-shaped (merged verbatim,
+/// ordered as time zero).
+std::string_view stamp_text(const std::string& data, std::size_t pos) {
+  if (data.compare(pos, kStampPrefix.size(), kStampPrefix) != 0) return {};
+  const std::size_t begin = pos + kStampPrefix.size();
+  const std::size_t comma = data.find(',', begin);
+  if (comma == std::string::npos) return {};
+  return std::string_view(data).substr(begin, comma - begin);
+}
+
+/// Exact order on "%.9f"-formatted nonnegative times: both stamps carry
+/// the same fixed fraction width, so the one with fewer integer digits
+/// is smaller, and equal widths compare lexicographically.
+bool stamp_less(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return a < b;
+}
+
+struct Cursor {
+  const std::string* data = nullptr;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= data->size(); }
+  [[nodiscard]] std::string_view stamp() const {
+    return stamp_text(*data, pos);
+  }
+  /// The current line including its newline; advances past it.
+  std::string_view take_line() {
+    std::size_t end = data->find('\n', pos);
+    end = end == std::string::npos ? data->size() : end + 1;
+    const std::string_view line = std::string_view(*data).substr(pos, end - pos);
+    pos = end;
+    return line;
+  }
+};
+
+}  // namespace
+
+std::string merge_traces(const std::vector<const EventTrace*>& traces) {
+  std::vector<Cursor> cursors;
+  cursors.reserve(traces.size());
+  std::size_t total = 0;
+  for (const EventTrace* t : traces) {
+    cursors.push_back(Cursor{&t->data(), 0});
+    total += t->data().size();
+  }
+  std::string out;
+  out.reserve(total);
+  for (;;) {
+    // Lowest (stamp, shard index) among the live cursors; ties keep the
+    // lower index, so the order is a pure function of the inputs.
+    std::size_t best = cursors.size();
+    std::string_view best_stamp;
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      if (cursors[i].done()) continue;
+      const std::string_view s = cursors[i].stamp();
+      if (best == cursors.size() || stamp_less(s, best_stamp)) {
+        best = i;
+        best_stamp = s;
+      }
+    }
+    if (best == cursors.size()) break;
+    out += cursors[best].take_line();
+  }
+  return out;
+}
+
+MetricsRegistry merge_metrics(const std::vector<const MetricsRegistry*>& regs) {
+  MetricsRegistry out;
+  for (const MetricsRegistry* reg : regs) {
+    for (const auto& [name, c] : reg->counters()) {
+      out.counter(name).inc(c.value());
+    }
+    for (const auto& [name, g] : reg->gauges()) {
+      out.gauge(name).add(g.value());
+    }
+    for (const auto& [name, h] : reg->histograms()) {
+      out.histogram(name, h.bounds()).merge(h);
+    }
+  }
+  return out;
+}
+
+}  // namespace ncfn::obs

@@ -1,0 +1,12 @@
+// Fixture: the allow() escape hatch must suppress the raw-thread rule,
+// and non-threading lookalikes must not trip it.
+
+// ncfn-lint: allow(raw-thread) — fixture demonstrating the escape hatch
+#include <thread>
+
+// Identifiers merely containing the banned words are fine, as is
+// std::this_thread (sleep/yield cannot add a schedule dependence).
+int thread_count = 0;
+int mutex_like_id = 0;
+void set_threads(int n) { thread_count = n; }
+void nap() { std::this_thread::yield(); }

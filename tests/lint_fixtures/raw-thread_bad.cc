@@ -1,0 +1,15 @@
+// Fixture: raw threading primitives outside the worker pool must be
+// flagged — spawning, bare locks, waiting primitives, and the headers.
+#include <mutex>
+#include <thread>
+
+int shared_counter = 0;
+std::mutex counter_mu;
+
+void bad_spawn() {
+  std::thread t([] {
+    const std::lock_guard<std::mutex> lock(counter_mu);
+    ++shared_counter;
+  });
+  t.join();
+}

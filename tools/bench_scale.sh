@@ -1,0 +1,21 @@
+#!/bin/sh
+# Run the multi-worker scaling benchmark and record machine-readable
+# results at the repo root (BENCH_scale.json): the worker scaling curve
+# on disjoint butterfly shards plus the 10^5-receiver aggregate
+# scenario. Speedups are host-dependent — the JSON records host_cores.
+#
+# Usage: tools/bench_scale.sh [build-dir] [extra bench_scale args...]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bin="$build_dir/bench/bench_scale"
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not built (cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+"$bin" "$@" > "$repo_root/BENCH_scale.json"
+cat "$repo_root/BENCH_scale.json"

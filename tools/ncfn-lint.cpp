@@ -40,6 +40,12 @@
 //                        encode_random_batch) so the coefficient draw
 //                        and dispatch overhead amortize over a
 //                        PacketBatch instead of recurring per packet
+//   raw-thread           no std::thread / std::async / bare mutexes or
+//                        condition variables outside the worker pool
+//                        (src/netsim/worker.*) and the sweep driver
+//                        (tools/ncfn-sweep.cpp) — ad-hoc concurrency
+//                        cannot honour the barrier-window determinism
+//                        contract; shard work through netsim::WorkerPool
 //
 // Escape hatch: a line carrying the comment
 //     // ncfn-lint: allow(<rule>[,<rule>...]) — <justification>
@@ -109,6 +115,10 @@ constexpr Rule kRules[] = {
      "per-packet kernel entry point in the VNF hot path; use the batch "
      "APIs (Decoder::recode_batch / Encoder::encode_random_batch) so the "
      "sweep amortizes over a PacketBatch"},
+    {"raw-thread", Scope::kEverywhere,
+     "raw threading primitive outside the worker pool; shard work through "
+     "netsim::WorkerPool (src/netsim/worker.hpp) so the barrier-window "
+     "determinism contract holds"},
 };
 
 // Files exempt from a rule by design (normalized path suffix match).
@@ -127,6 +137,11 @@ constexpr FileException kFileExceptions[] = {
     // conversion (it uses std::from_chars, but the ban is on the whole
     // conversion family by site, not by spelling).
     {"throwing-numparse", "src/coding/strparse.hpp"},
+    // The worker pool is the one sanctioned home of raw threading; the
+    // sweep driver owns process-level fan-out on top of it.
+    {"raw-thread", "src/netsim/worker.hpp"},
+    {"raw-thread", "src/netsim/worker.cpp"},
+    {"raw-thread", "tools/ncfn-sweep.cpp"},
 };
 
 constexpr const char* kHotPathDirs[] = {"src/gf/", "src/coding/",
@@ -297,6 +312,23 @@ bool matches_per_packet_kernel(const std::string& code) {
   return std::regex_search(code, re);
 }
 
+bool matches_raw_thread(const std::string& code) {
+  // Thread spawning, bare locks and synchronization primitives, plus
+  // the headers that provide them. std::this_thread (sleep/yield) and
+  // std::atomic are not flagged: neither can introduce a schedule
+  // dependence by itself. The worker-pool exception files are the only
+  // sanctioned users (kFileExceptions).
+  static const std::regex re(
+      "std::(thread|jthread|async|mutex|timed_mutex|recursive_mutex|"
+      "shared_mutex|shared_timed_mutex|condition_variable|"
+      "condition_variable_any|counting_semaphore|binary_semaphore|"
+      "barrier|latch|promise|packaged_task)($|[^_\\w])"
+      "|#\\s*include\\s*<(thread|mutex|shared_mutex|condition_variable|"
+      "semaphore|barrier|latch|future)>"
+      "|(^|[^_\\w])pthread_\\w+");
+  return std::regex_search(code, re);
+}
+
 bool matches_throwing_numparse(const std::string& code) {
   // std::stoi/stol/stoul/stod/... (throwing), the atoi family (no error
   // reporting at all) and the strtol family (errno-based) — every
@@ -441,6 +473,8 @@ std::vector<Finding> lint_file(const fs::path& file, bool ignore_scopes) {
         hit = matches_throwing_numparse(ln.code);
       } else if (id == "per-packet-kernel") {
         hit = matches_per_packet_kernel(ln.code);
+      } else if (id == "raw-thread") {
+        hit = matches_raw_thread(ln.code);
       }
       if (hit && !allowed(rule.id)) {
         findings.push_back({path, i + 1, rule.id, rule.message});

@@ -3,7 +3,7 @@
 // GF(2^8)-coded packets end to end.
 //
 //   ncfn-run <scenario-file> [--duration <s>] [--redundancy <0|1|2>]
-//            [--loss <frac>] [--seed <n>]
+//            [--loss <frac>] [--seed <n>] [--workers <n>]
 //            [--metrics-out <file>] [--trace-out <file>]
 //
 // --loss applies i.i.d. loss to every DC-DC link. Prints per-receiver
@@ -11,6 +11,14 @@
 // as JSON after the run; --trace-out enables the deterministic event
 // trace and writes it as JSONL — identical (scenario, seed, flags) runs
 // produce byte-identical files.
+//
+// --workers <n> (or a `workers <n>` scenario line; the flag wins) routes
+// the run through the sharded multi-worker engine: sessions partition
+// into independent shards advanced in barrier-synchronized time windows.
+// The worker count changes wall-clock only — traces and metrics are
+// byte-identical for any <n> (CI diffs 1 vs 2 vs 8). Scenarios with
+// fail/crash lines need the live controller and stay on the
+// single-engine path (using --workers there is an error).
 //
 // Scenario `fail`/`crash` lines are honoured: a live controller watches
 // the topology, re-solves around each outage, and the affected sessions
@@ -28,6 +36,7 @@
 #include "app/config.hpp"
 #include "app/provider.hpp"
 #include "app/runtime.hpp"
+#include "app/shard.hpp"
 #include "ctrl/controller.hpp"
 #include "ctrl/problem.hpp"
 #include "netsim/loss.hpp"
@@ -46,6 +55,13 @@ T arg_num(const char* flag, const char* value) {
   }
   return *v;
 }
+
+bool write_file(const std::string& path, const std::string& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  return std::fclose(f) == 0 && ok;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -53,13 +69,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <scenario-file> [--duration <s>] "
                  "[--redundancy <n>] [--loss <frac>] [--seed <n>] "
-                 "[--metrics-out <file>] [--trace-out <file>]\n",
+                 "[--workers <n>] [--metrics-out <file>] "
+                 "[--trace-out <file>]\n",
                  argv[0]);
     return 2;
   }
   double duration = 5.0, loss = 0.0;
   int redundancy = 0;
   std::uint32_t seed = 7;
+  std::size_t workers = 0;  // 0 = scenario decides (default: legacy engine)
   std::string metrics_out, trace_out;
   for (int i = 2; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--duration") == 0) {
@@ -73,6 +91,13 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--seed") == 0) {
       seed = arg_num<std::uint32_t>("--seed", argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--workers") == 0) {
+      workers = arg_num<std::size_t>("--workers", argv[i + 1]);
+      if (workers == 0) {
+        std::fprintf(stderr, "--workers needs a positive integer\n");
+        return 2;
+      }
     }
     if (std::strcmp(argv[i], "--metrics-out") == 0) metrics_out = argv[i + 1];
     if (std::strcmp(argv[i], "--trace-out") == 0) trace_out = argv[i + 1];
@@ -92,6 +117,48 @@ int main(int argc, char** argv) {
   if (!plan.feasible) {
     std::fprintf(stderr, "no feasible deployment\n");
     return 1;
+  }
+
+  // ---- Sharded multi-worker path (--workers / `workers` line) ----
+  const std::size_t effective_workers =
+      workers > 0 ? workers : scenario->workers;
+  if (effective_workers > 0) {
+    if (!scenario->failures.empty() || !scenario->crashes.empty()) {
+      std::fprintf(stderr,
+                   "scenario has fail/crash lines; the sharded engine does "
+                   "not support live failure injection — drop --workers / "
+                   "the workers line\n");
+      return 1;
+    }
+    app::ShardedRunOptions opts;
+    opts.workers = effective_workers;
+    opts.duration_s = duration;
+    opts.redundancy = redundancy;
+    opts.loss = loss;
+    opts.seed = seed;
+    opts.trace = !trace_out.empty();
+    app::ShardedScenarioRun run(*scenario, plan, opts);
+    run.run();
+
+    std::printf("%-10s %-12s %-12s %12s %10s %10s\n", "session", "receiver",
+                "planned", "goodput", "repairs", "corrupt");
+    for (const app::ReceiverReport& r : run.reports()) {
+      std::printf("%-10u %-12s %9.2f Mbps %8.2f Mbps %10llu %10llu\n",
+                  r.session, r.receiver.c_str(), r.planned_mbps,
+                  r.goodput_mbps,
+                  static_cast<unsigned long long>(r.repair_requests),
+                  static_cast<unsigned long long>(r.verify_failures));
+    }
+    if (!metrics_out.empty() &&
+        !write_file(metrics_out, run.metrics_json() + "\n")) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    if (!trace_out.empty() && !write_file(trace_out, run.trace_jsonl())) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    return 0;
   }
 
   app::SimNet sim(scenario->topo);
