@@ -92,8 +92,13 @@ void run_shard_windows(netsim::WorkerPool& pool,
   double window_end = 0;
   while (window_end < t_end) {
     window_end = std::min(window_end + window_s, t_end);
-    pool.run(shards.size(), [&](std::size_t k) {
+    // Named captures only: ncfn-lint's ref-capture-thread rule bans a
+    // default [&] handed to a pool submit, so every object a lane can
+    // reach is spelled out at the capture.
+    pool.run(shards.size(), [&shards, window_end](std::size_t k) {
       SimShard& shard = *shards[k];
+      // The barrier handed this lane shard k for this window.
+      shard.owner.assert_held();
       shard.events += shard.sim->net().sim().run_until(window_end);
     });
     // pool.run IS the barrier: no shard enters the next window before
@@ -104,7 +109,12 @@ void run_shard_windows(netsim::WorkerPool& pool,
 std::string merged_trace(std::span<const std::unique_ptr<SimShard>> shards) {
   std::vector<const obs::EventTrace*> traces;
   traces.reserve(shards.size());
-  for (const auto& s : shards) traces.push_back(&s->sim->trace());
+  for (const auto& s : shards) {
+    // Post-barrier: the single calling thread owns every shard, and the
+    // merge inputs are quiescent (obs/merge.hpp contract).
+    s->owner.assert_held();
+    traces.push_back(&s->sim->trace());
+  }
   return obs::merge_traces(traces);
 }
 
@@ -112,7 +122,10 @@ std::string merged_metrics_json(
     std::span<const std::unique_ptr<SimShard>> shards) {
   std::vector<const obs::MetricsRegistry*> regs;
   regs.reserve(shards.size());
-  for (const auto& s : shards) regs.push_back(&s->sim->metrics());
+  for (const auto& s : shards) {
+    s->owner.assert_held();  // post-barrier single-thread ownership
+    regs.push_back(&s->sim->metrics());
+  }
   return obs::merge_metrics(regs).to_json();
 }
 
@@ -127,6 +140,10 @@ ShardedScenarioRun::ShardedScenarioRun(const Scenario& scenario,
 
 void ShardedScenarioRun::build_shard(std::size_t k) {
   auto shard = std::make_unique<SimShard>();
+  // The building lane owns the freshly allocated shard outright until
+  // the move into shards_[k] publishes it (the run() barrier is the
+  // release point).
+  shard->owner.assert_held();
   SimNetConfig scfg;
   // The shard's network RNG (jitter, probe noise, loss draws) is a
   // stream split from the root seed by shard index — never by worker.
@@ -186,7 +203,10 @@ void ShardedScenarioRun::run() {
 
 std::uint64_t ShardedScenarioRun::events_executed() const {
   std::uint64_t total = 0;
-  for (const auto& s : shards_) total += s->events;
+  for (const auto& s : shards_) {
+    s->owner.assert_held();  // post-barrier single-thread ownership
+    total += s->events;
+  }
   return total;
 }
 
@@ -195,6 +215,7 @@ std::vector<ReceiverReport> ShardedScenarioRun::reports() const {
   for (std::size_t m = 0; m < scenario_->sessions.size(); ++m) {
     const ctrl::SessionSpec& spec = scenario_->sessions[m];
     const SimShard& shard = *shards_[parts_.session_shard[m]];
+    shard.owner.assert_held();  // post-barrier single-thread ownership
     std::size_t local = 0;
     while (shard.session_index[local] != m) ++local;
     const NcMulticastSession& session = *shard.sessions[local];

@@ -31,6 +31,7 @@
 #include "app/config.hpp"
 #include "app/provider.hpp"
 #include "app/runtime.hpp"
+#include "common/sync.hpp"
 #include "ctrl/problem.hpp"
 #include "netsim/worker.hpp"
 
@@ -60,12 +61,26 @@ struct ShardPlan {
 /// One worker-owned shard: a private SimNet plus the sessions living on
 /// it. Everything reachable from here is touched by exactly one worker
 /// lane during a window.
+///
+/// Ownership is transferred structurally, not by a lock: the building
+/// lane owns the shard during construction, the pool barrier hands it
+/// to lane (k % W) for each window, and after the final barrier the
+/// caller's single thread owns every shard. The `owner` Role makes that
+/// handoff a compile-time contract — all state is NCFN_GUARDED_BY(owner)
+/// and each code path declares how it came to own the shard with
+/// owner.assert_held() (no-op at runtime; required by the `analyze`
+/// preset's -Wthread-safety pass).
 struct SimShard {
-  std::unique_ptr<SimNet> sim;
-  std::vector<std::unique_ptr<SyntheticProvider>> providers;
-  std::vector<std::unique_ptr<NcMulticastSession>> sessions;
-  std::vector<std::size_t> session_index;  // global index per entry
-  std::uint64_t events = 0;                // events executed by run_shard_windows
+  common::Role owner;
+  std::unique_ptr<SimNet> sim NCFN_GUARDED_BY(owner);
+  std::vector<std::unique_ptr<SyntheticProvider>> providers
+      NCFN_GUARDED_BY(owner);
+  std::vector<std::unique_ptr<NcMulticastSession>> sessions
+      NCFN_GUARDED_BY(owner);
+  // Global index per entry.
+  std::vector<std::size_t> session_index NCFN_GUARDED_BY(owner);
+  // Events executed by run_shard_windows.
+  std::uint64_t events NCFN_GUARDED_BY(owner) = 0;
 };
 
 /// Advance every shard to `t_end` in barrier-synchronized lockstep

@@ -14,8 +14,10 @@ std::vector<SweepCell> run_sweep(const Scenario& scenario,
   std::vector<SweepCell> cells(matrix.cell_count());
   netsim::WorkerPool pool(jobs);
   // Each job writes only its own pre-sized slot: no shared state, no
-  // ordering dependence on which lane ran which cell.
-  pool.run(cells.size(), [&](std::size_t j) {
+  // ordering dependence on which lane ran which cell. Captures are
+  // named (not a default [&]) so ncfn-lint's ref-capture-thread rule
+  // can hold every pool submit to an explicit reachable-state list.
+  pool.run(cells.size(), [&cells, &matrix, &scenario, &plan](std::size_t j) {
     const std::size_t bi = j % matrix.batches.size();
     const std::size_t li = (j / matrix.batches.size()) % matrix.losses.size();
     const std::size_t si = j / (matrix.batches.size() * matrix.losses.size());

@@ -1,0 +1,87 @@
+// Clang Thread Safety Analysis capability macros (NCFN_ spelling).
+//
+// The multi-worker engine's race defense used to be purely dynamic:
+// TSan on whatever the `mt` tests happened to execute. These macros
+// make lock discipline a COMPILE-TIME property instead: every
+// shared-state class declares which capability (mutex, or a logical
+// ownership Role) guards each field, and clang's `-Wthread-safety`
+// analysis rejects any access that cannot prove it holds the
+// capability — before a thread ever runs. The `analyze` CMake preset
+// turns the warnings into errors; `tests/negcompile/` proves the gate
+// bites by compiling known violations and asserting they FAIL.
+//
+// On GCC (which has no thread safety analysis) every macro expands to
+// nothing, so annotated code builds identically everywhere; only the
+// clang-based `analyze` preset and CI job enforce the contracts.
+//
+// Conventions (see DESIGN.md "Thread-safety capabilities"):
+//   * Fields:    int jobs_ NCFN_GUARDED_BY(mu_);
+//   * Methods:   void drain() NCFN_REQUIRES(mu_);     // caller locks
+//                void run()   NCFN_EXCLUDES(mu_);     // caller must NOT
+//   * Lock ops:  void lock()  NCFN_ACQUIRE();         // on Mutex only
+//   * RAII:      class NCFN_SCOPED_CAPABILITY MutexLock;
+//   * Escapes:   NCFN_NO_THREAD_SAFETY_ANALYSIS only inside the
+//                annotated primitives themselves (src/common/sync.hpp),
+//                never in user code.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define NCFN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NCFN_THREAD_ANNOTATION(x)  // no-op: GCC has no -Wthread-safety
+#endif
+
+/// Marks a class as a capability (lockable or logical role). The string
+/// names the capability kind in diagnostics ("mutex", "role").
+#define NCFN_CAPABILITY(x) NCFN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (std::lock_guard shape).
+#define NCFN_SCOPED_CAPABILITY NCFN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding the given capability.
+#define NCFN_GUARDED_BY(x) NCFN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose POINTEE is protected by the capability (the
+/// pointer itself may be read freely).
+#define NCFN_PT_GUARDED_BY(x) NCFN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (caller locks).
+#define NCFN_REQUIRES(...) \
+  NCFN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function requires the capability held SHARED on entry.
+#define NCFN_REQUIRES_SHARED(...) \
+  NCFN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the capability (it acquires it
+/// itself, or a self-deadlock would result).
+#define NCFN_EXCLUDES(...) NCFN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability (held on return, not on entry).
+#define NCFN_ACQUIRE(...) \
+  NCFN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define NCFN_RELEASE(...) \
+  NCFN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define NCFN_TRY_ACQUIRE(ret, ...) \
+  NCFN_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Runtime assertion that the capability is held: tells the analysis
+/// "held from here to end of scope" (the barrier-handoff idiom used by
+/// common::Role — see src/common/sync.hpp).
+#define NCFN_ASSERT_CAPABILITY(x) \
+  NCFN_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to a value guarded by the capability.
+#define NCFN_RETURN_CAPABILITY(x) NCFN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opt a function body out of the analysis. Reserved for the annotated
+/// primitives in src/common/sync.hpp whose bodies bridge to the
+/// un-annotated standard library; using it anywhere else defeats the
+/// gate (and the negcompile suite exists to keep the gate honest).
+#define NCFN_NO_THREAD_SAFETY_ANALYSIS \
+  NCFN_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -41,6 +41,16 @@ const KernelTable* auto_select() noexcept {
   return detail::scalar_table();
 }
 
+// Publication contract (release/acquire): every store below publishes a
+// pointer to a KernelTable that is immutable and fully constructed
+// BEFORE the store — the tables live in static storage inside the
+// detail::*_table() functions, so the release store is what makes their
+// initialization visible to the acquire load on any other thread. Two
+// threads racing first use may both run auto_select(); it is a pure
+// function of (env, CPUID), so both compute the same pointer and the
+// duplicate store is harmless. force_tier()/reset_tier() reuse the same
+// release publication; they are test-only knobs whose callers serialize
+// externally (worker lanes never retune the tier mid-run).
 std::atomic<const KernelTable*> g_active{nullptr};
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 namespace ncfn::netsim {
 
+using common::MutexLock;
+
 std::size_t WorkerPool::hardware_workers() {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
@@ -19,7 +21,12 @@ WorkerPool::WorkerPool(std::size_t workers)
 WorkerPool::~WorkerPool() {
   if (threads_.empty()) return;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    // stop_ flips under mu_ — the classic lost-wakeup defense: a lane
+    // between its predicate check and its cv wait still HOLDS mu_, so
+    // the flag cannot change (nor the notify fire into the void) until
+    // the lane has atomically released mu_ inside wait(). Regression:
+    // WorkerPool.ShutdownUnderChurnNeverHangs in tests/test_mt.cpp.
+    const MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -34,38 +41,44 @@ void WorkerPool::run(std::size_t jobs,
     for (std::size_t j = 0; j < jobs; ++j) fn(j);
     return;
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  jobs_ = jobs;
-  fn_ = &fn;
-  lanes_done_ = 0;
-  ++generation_;
-  lock.unlock();
+  {
+    const MutexLock lock(mu_);
+    jobs_ = jobs;
+    fn_ = &fn;
+    lanes_done_ = 0;
+    ++generation_;
+  }
   work_cv_.notify_all();
-  lock.lock();
-  done_cv_.wait(lock, [this] { return lanes_done_ == workers_; });
-  fn_ = nullptr;
+  {
+    const MutexLock lock(mu_);
+    while (lanes_done_ != workers_) done_cv_.wait(mu_);
+    fn_ = nullptr;
+  }
 }
 
 void WorkerPool::worker_main(std::size_t lane) {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    work_cv_.wait(lock,
-                  [&] { return stop_ || generation_ != seen_generation; });
-    if (stop_) return;
-    seen_generation = generation_;
-    const std::size_t jobs = jobs_;
-    const std::function<void(std::size_t)>* fn = fn_;
-    lock.unlock();
+    std::size_t jobs = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    {
+      const MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) work_cv_.wait(mu_);
+      if (stop_) return;
+      seen_generation = generation_;
+      jobs = jobs_;
+      fn = fn_;
+    }
     // Static stride assignment: lane w owns jobs w, w+W, w+2W, ... —
     // deterministic, disjoint, and independent of scheduling order.
     for (std::size_t j = lane; j < jobs; j += workers_) (*fn)(j);
-    lock.lock();
-    ++lanes_done_;
-    if (lanes_done_ == workers_) {
-      lock.unlock();
-      done_cv_.notify_one();
+    bool last = false;
+    {
+      const MutexLock lock(mu_);
+      ++lanes_done_;
+      last = lanes_done_ == workers_;
     }
+    if (last) done_cv_.notify_one();
   }
 }
 

@@ -1,8 +1,9 @@
 // Barrier-synchronized worker pool — the ONLY sanctioned home of raw
-// threading primitives in the tree (ncfn-lint's raw-thread rule bans
-// std::thread / std::async / bare mutexes everywhere else, so
+// thread spawning in the tree (ncfn-lint's raw-thread rule bans
+// std::thread / std::async / bare std mutexes everywhere else, so
 // nondeterministic concurrency cannot leak into the data plane; this
-// file and worker.cpp are the rule's two src exceptions).
+// file, worker.cpp, the annotated primitives in src/common/sync.hpp and
+// the sweep driver are the rule's only exceptions).
 //
 // Model (BESS master/worker split, core/master.cc + core/worker.h): a
 // fixed set of worker lanes executes a batch of independent jobs — one
@@ -15,14 +16,20 @@
 // every job inline on the calling thread — no threads are ever spawned —
 // which is what makes `--workers 1` the bit-exact reference for the
 // worker-count determinism gate.
+//
+// Lock discipline is a compile-time property: every cross-thread field
+// is NCFN_GUARDED_BY(mu_) and the clang `analyze` preset
+// (-Wthread-safety -Werror) rejects any access outside a MutexLock
+// scope — see DESIGN.md "Thread-safety capabilities" and the
+// tests/negcompile/ suite that proves the gate bites.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace ncfn::netsim {
 
@@ -31,7 +38,7 @@ class WorkerPool {
   /// A pool with `workers` lanes (clamped to >= 1). With one lane no
   /// thread is ever created; run() degrades to a plain loop.
   explicit WorkerPool(std::size_t workers);
-  ~WorkerPool();
+  ~WorkerPool() NCFN_EXCLUDES(mu_);
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
@@ -47,21 +54,22 @@ class WorkerPool {
   /// barrier until all jobs have finished. Jobs MUST NOT touch shared
   /// mutable state: each job owns its shard outright. fn must not throw
   /// (an escaped exception on a lane terminates the process).
-  void run(std::size_t jobs, const std::function<void(std::size_t)>& fn);
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& fn)
+      NCFN_EXCLUDES(mu_);
 
  private:
-  void worker_main(std::size_t lane);
+  void worker_main(std::size_t lane) NCFN_EXCLUDES(mu_);
 
   std::size_t workers_;
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;  // bumped once per run() dispatch
-  std::size_t jobs_ = 0;
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t lanes_done_ = 0;
-  bool stop_ = false;
+  common::Mutex mu_;
+  common::CondVar work_cv_;  // signaled: new generation, or stop
+  common::CondVar done_cv_;  // signaled: last lane finished its share
+  std::uint64_t generation_ NCFN_GUARDED_BY(mu_) = 0;  // per run() dispatch
+  std::size_t jobs_ NCFN_GUARDED_BY(mu_) = 0;
+  const std::function<void(std::size_t)>* fn_ NCFN_GUARDED_BY(mu_) = nullptr;
+  std::size_t lanes_done_ NCFN_GUARDED_BY(mu_) = 0;
+  bool stop_ NCFN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ncfn::netsim

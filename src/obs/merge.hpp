@@ -15,6 +15,15 @@
 //   * Metrics: counters sum, gauges add, histograms fold bucket-wise
 //     (Histogram::merge; bounds must match, which they do because every
 //     shard registers through the same wiring code).
+//
+// Concurrency contract: the inputs must be QUIESCENT — no worker lane
+// may still be appending to any trace buffer or bumping any registry
+// when a merge starts. The callers guarantee this structurally: merges
+// run on the single post-barrier thread, after WorkerPool::run has
+// joined every lane's last window (shard ownership is the
+// NCFN_GUARDED_BY(owner) Role in app::SimShard; the shard accessors
+// assert it before handing buffers to the merge). The merge itself
+// never mutates its inputs, so no lock is taken here.
 #pragma once
 
 #include <string>

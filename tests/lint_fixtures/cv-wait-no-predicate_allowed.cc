@@ -1,0 +1,37 @@
+// Fixture: predicate-loop waits in every sanctioned shape pass — the
+// wait on the while line, the brace-less while body, the braced while
+// body — as does the two-argument predicate overload (its parens carry
+// a comma) and the allow() escape hatch.
+struct Waiter {
+  ncfn::common::Mutex mu;
+  ncfn::common::CondVar cv;
+  bool ready NCFN_GUARDED_BY(mu) = false;
+
+  void same_line() {
+    const ncfn::common::MutexLock lock(mu);
+    while (!ready) cv.wait(mu);
+  }
+
+  void braceless_body() {
+    const ncfn::common::MutexLock lock(mu);
+    while (!ready)
+      cv.wait(mu);
+  }
+
+  void braced_body() {
+    const ncfn::common::MutexLock lock(mu);
+    while (!ready) {
+      cv.wait(mu);
+    }
+  }
+
+  void predicate_overload(std::unique_lock<std::mutex>& lk) {
+    std_cv.wait(lk, [this] { return ready; });
+  }
+
+  void escape_hatch() {
+    const ncfn::common::MutexLock lock(mu);
+    // ncfn-lint: allow(cv-wait-no-predicate) — fixture demonstrating the escape hatch
+    cv.wait(mu);
+  }
+};

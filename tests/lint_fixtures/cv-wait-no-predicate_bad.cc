@@ -1,0 +1,21 @@
+// Fixture: a bare single-argument cv.wait() outside a predicate loop —
+// spurious wakeups and a notify that fires before the wait both slip
+// straight through. (The fixture never runs; the shapes are what the
+// rule sees.)
+struct Waiter {
+  ncfn::common::Mutex mu;
+  ncfn::common::CondVar cv;
+  bool ready NCFN_GUARDED_BY(mu) = false;
+
+  void naked_wait() {
+    const ncfn::common::MutexLock lock(mu);
+    cv.wait(mu);  // no predicate: a spurious wakeup proceeds unready
+  }
+
+  void if_is_not_a_loop() {
+    const ncfn::common::MutexLock lock(mu);
+    if (!ready) {
+      cv.wait(mu);  // checked once; the re-check after wakeup is missing
+    }
+  }
+};

@@ -1,0 +1,23 @@
+// Fixture: joined threads and detach lookalikes pass, as does the
+// allow() escape hatch.
+#include <thread>  // ncfn-lint: allow(raw-thread) — fixture isolates detached-thread
+
+void joined(int* counter) {
+  // ncfn-lint: allow(raw-thread) — fixture isolates detached-thread
+  std::thread worker([counter] { ++*counter; });
+  worker.join();
+}
+
+// An identifier merely containing "detach" is not a detach call.
+void detach_lookalike() {
+  int detached_count = 0;
+  auto undetach = [&detached_count] { ++detached_count; };
+  undetach();
+}
+
+void sanctioned(int* counter) {
+  // ncfn-lint: allow(raw-thread) — fixture isolates detached-thread
+  std::thread watchdog([counter] { ++*counter; });
+  // ncfn-lint: allow(detached-thread) — fixture demonstrating the escape hatch
+  watchdog.detach();
+}

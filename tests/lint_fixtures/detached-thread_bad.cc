@@ -1,0 +1,16 @@
+// Fixture: detached threads must be flagged — a detached lane outlives
+// its captures (stack use-after-free on exit) and cannot be joined at
+// the barrier, so the determinism contract cannot hold.
+#include <thread>  // ncfn-lint: allow(raw-thread) — fixture isolates detached-thread
+
+void fire_and_forget(int* counter) {
+  // ncfn-lint: allow(raw-thread) — fixture isolates detached-thread
+  std::thread worker([counter] { ++*counter; });
+  worker.detach();
+}
+
+struct Pool {
+  // ncfn-lint: allow(raw-thread) — fixture isolates detached-thread
+  std::thread lane;
+  void abandon() { this->lane.detach(); }
+};

@@ -1,0 +1,18 @@
+// Fixture: a mutex whose guarded fields are annotated passes, as does
+// the allow() escape hatch, as do lookalikes (references alias a mutex
+// annotated at its home; MutexLock is a lock, not a mutex).
+#include <cstdint>
+
+struct Counter {
+  ncfn::common::Mutex mu;
+  std::uint64_t value NCFN_GUARDED_BY(mu) = 0;
+};
+
+struct Wrapper {
+  // ncfn-lint: allow(mutex-unannotated) — wrapper storage, nothing to guard
+  ncfn::common::Mutex raw_mu;
+};
+
+void lookalikes(ncfn::common::Mutex& by_ref) {
+  const ncfn::common::MutexLock lock(by_ref);
+}

@@ -1,0 +1,17 @@
+// Fixture: a mutex member with no NCFN_GUARDED_BY field naming it —
+// the lock guards nothing the thread-safety analysis can see, so the
+// analyze preset would wave racy accessors straight through. Both the
+// raw std spelling and the annotated wrapper must be flagged.
+#include <cstdint>
+#include <mutex>  // ncfn-lint: allow(raw-thread) — fixture isolates mutex-unannotated
+
+struct JobQueue {
+  std::uint64_t pending = 0;
+  // ncfn-lint: allow(raw-thread) — fixture isolates mutex-unannotated
+  std::mutex queue_mu;
+};
+
+struct ShardState {
+  ncfn::common::Mutex state_mu;
+  std::uint64_t events = 0;  // racy: nothing ties this to state_mu
+};

@@ -1,0 +1,22 @@
+// Fixture: named captures crossing threads pass — the lambda header
+// documents exactly which objects the other thread can touch — and a
+// default [&] on a same-thread lambda (no entry point beside it) is
+// fine, as is the allow() escape hatch.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+void pool_submit(ncfn::netsim::WorkerPool& pool, std::vector<int>& grid) {
+  pool.run(grid.size(), [&grid](std::size_t j) { grid[j] = 1; });
+}
+
+int same_thread(const std::vector<int>& xs, int needle) {
+  const auto it =
+      std::find_if(xs.begin(), xs.end(), [&](int x) { return x == needle; });
+  return it == xs.end() ? -1 : static_cast<int>(it - xs.begin());
+}
+
+void sanctioned(ncfn::netsim::WorkerPool& pool, std::vector<int>& grid) {
+  // ncfn-lint: allow(ref-capture-thread) — fixture demonstrating the escape hatch
+  pool.run(grid.size(), [&](std::size_t j) { grid[j] = 2; });
+}

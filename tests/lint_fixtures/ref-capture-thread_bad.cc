@@ -1,0 +1,16 @@
+// Fixture: a default [&] capture handed to a thread or pool entry
+// point must be flagged — everything on the caller's stack becomes
+// implicitly shared with another thread, and nothing documents which
+// objects cross.
+#include <cstddef>
+#include <thread>  // ncfn-lint: allow(raw-thread) — fixture isolates ref-capture-thread
+
+void pool_submit(ncfn::netsim::WorkerPool& pool, int* grid) {
+  pool.run(8, [&](std::size_t j) { grid[j] = 1; });
+}
+
+void spawn(int* counter) {
+  // ncfn-lint: allow(raw-thread) — fixture isolates ref-capture-thread
+  std::thread t([&] { ++*counter; });
+  t.join();
+}

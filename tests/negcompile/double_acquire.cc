@@ -1,0 +1,10 @@
+// Acquiring a non-recursive Mutex twice on one thread deadlocks; the
+// analysis sees the second scoped acquire while the first is held.
+// negcompile-expect: already held
+#include "common/sync.hpp"
+
+void deadlock() {
+  ncfn::common::Mutex mu;
+  const ncfn::common::MutexLock outer(mu);
+  const ncfn::common::MutexLock inner(mu);
+}

@@ -1,0 +1,31 @@
+// NCFN_EXCLUDES(mu_) declares a function must be entered with mu_ NOT
+// held (it will acquire mu_ itself — calling it under the lock is a
+// self-deadlock). The analysis rejects the call while mu_ is held.
+// negcompile-expect: while mutex
+#include "common/sync.hpp"
+
+namespace {
+
+class Pool {
+ public:
+  void shutdown() NCFN_EXCLUDES(mu_) {
+    const ncfn::common::MutexLock lock(mu_);
+    stopped_ = true;
+  }
+
+  void oops() {
+    const ncfn::common::MutexLock lock(mu_);
+    shutdown();  // would self-deadlock: shutdown() re-acquires mu_
+  }
+
+ private:
+  ncfn::common::Mutex mu_;
+  bool stopped_ NCFN_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace
+
+void trigger() {
+  Pool p;
+  p.oops();
+}

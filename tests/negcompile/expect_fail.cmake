@@ -1,0 +1,43 @@
+# Script-mode negative-compile check — the `cmake -P` equivalent of
+# try_compile (which only exists in project mode): compile one TU
+# expecting FAILURE, and require the diagnostics to match the regex the
+# TU itself declares in its "// negcompile-expect: <regex>" line. Both
+# directions are asserted: a TU that compiles means the gate went dead
+# (e.g. a refactor silently stripped the annotations); a failure with
+# the WRONG diagnostic means the TU rotted into testing something else.
+#
+# Usage:
+#   cmake -DCOMPILER=<c++> "-DFLAGS=<flag string>" -DTU=<file>
+#         -P expect_fail.cmake
+if(NOT COMPILER OR NOT TU)
+  message(FATAL_ERROR "expect_fail.cmake: COMPILER and TU are required")
+endif()
+
+file(STRINGS "${TU}" _expect_lines REGEX "negcompile-expect:")
+list(LENGTH _expect_lines _n)
+if(NOT _n EQUAL 1)
+  message(FATAL_ERROR
+          "${TU}: need exactly one '// negcompile-expect: <regex>' line, "
+          "found ${_n}")
+endif()
+string(REGEX REPLACE ".*negcompile-expect: *" "" EXPECT "${_expect_lines}")
+
+separate_arguments(_flag_list UNIX_COMMAND "${FLAGS}")
+execute_process(
+  COMMAND ${COMPILER} ${_flag_list} "${TU}"
+  RESULT_VARIABLE _rc
+  OUTPUT_VARIABLE _out
+  ERROR_VARIABLE _err)
+set(_diag "${_out}${_err}")
+
+if(_rc EQUAL 0)
+  message(FATAL_ERROR
+          "expected compilation of ${TU} to FAIL, but it succeeded — the "
+          "negative-compile gate is dead (were the annotations stripped?)")
+endif()
+if(NOT _diag MATCHES "${EXPECT}")
+  message(FATAL_ERROR
+          "${TU} failed to compile (good) but the diagnostics do not match "
+          "\"${EXPECT}\":\n${_diag}")
+endif()
+message(STATUS "ok: ${TU} fails to compile with \"${EXPECT}\"")

@@ -1,0 +1,24 @@
+// Reading a NCFN_GUARDED_BY(mu_) field without holding mu_ must be
+// rejected by clang's thread-safety analysis.
+// negcompile-expect: requires holding mutex
+#include <cstdint>
+
+#include "common/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  std::uint64_t peek() const { return value_; }
+
+ private:
+  mutable ncfn::common::Mutex mu_;
+  std::uint64_t value_ NCFN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+std::uint64_t race() {
+  const Counter c;
+  return c.peek();
+}

@@ -1,0 +1,11 @@
+// MutexLock is a scoped capability: copying one would release the same
+// mutex twice. Copy members are deleted, so this fails under any
+// compiler (not just clang with -Wthread-safety).
+// negcompile-expect: deleted
+#include "common/sync.hpp"
+
+void copy_a_lock() {
+  ncfn::common::Mutex mu;
+  const ncfn::common::MutexLock lock(mu);
+  const ncfn::common::MutexLock clone = lock;
+}

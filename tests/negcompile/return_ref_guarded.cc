@@ -1,0 +1,28 @@
+// Returning a reference to guarded state lets the caller touch it after
+// the lock is gone. -Wthread-safety-reference catches the escape.
+// negcompile-expect: requires holding mutex
+#include <cstdint>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  const std::vector<std::uint64_t>& items() const {
+    const ncfn::common::MutexLock lock(mu_);
+    return items_;  // reference outlives the lock
+  }
+
+ private:
+  mutable ncfn::common::Mutex mu_;
+  std::vector<std::uint64_t> items_ NCFN_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+std::size_t escape() {
+  const Queue q;
+  return q.items().size();
+}

@@ -1,0 +1,20 @@
+// The phantom Role capability models structural ownership (one worker
+// lane per shard between barriers). Touching a NCFN_GUARDED_BY(owner)
+// field without assert_held() means the caller never claimed ownership.
+// negcompile-expect: requires holding role
+#include <cstdint>
+
+#include "common/sync.hpp"
+
+namespace {
+
+struct Shard {
+  ncfn::common::Role owner;
+  std::uint64_t events NCFN_GUARDED_BY(owner) = 0;
+};
+
+}  // namespace
+
+std::uint64_t touch_unowned(const Shard& shard) {
+  return shard.events;
+}

@@ -1,0 +1,13 @@
+// WorkerPool owns threads and a mutex; copying one would duplicate the
+// lane handles and shear the generation protocol. Both copy members are
+// deleted, so this TU must not compile under ANY compiler — it keeps
+// the negcompile gate live even on hosts whose compiler lacks
+// -Wthread-safety.
+// negcompile-expect: deleted
+#include "netsim/worker.hpp"
+
+void copy_a_pool() {
+  ncfn::netsim::WorkerPool pool(2);
+  ncfn::netsim::WorkerPool clone = pool;
+  (void)clone;
+}

@@ -65,6 +65,31 @@ TEST(WorkerPool, ZeroJobsAndReuseAreSafe) {
   for (const int h : hits) EXPECT_EQ(h, 3);
 }
 
+TEST(WorkerPool, ShutdownUnderChurnNeverHangs) {
+  // Regression for the classic lost-wakeup shutdown bug: if ~WorkerPool
+  // flipped stop_ WITHOUT holding mu_, a lane caught between its
+  // predicate check and its cv wait would sleep through the notify_all
+  // and join() would hang forever. Because stop_ flips under mu_
+  // (worker.cpp), a lane inside that window still holds the lock, so
+  // the flag cannot change until the lane has atomically released mu_
+  // inside wait(). Churn construction/teardown to drive lanes through
+  // the window — destroying right after construction races the dtor
+  // against lanes that have not even reached their first wait. A
+  // regression shows up as a ctest timeout, not a flaky assert; TSan
+  // (the mt CI job) additionally checks the handoff ordering.
+  for (int round = 0; round < 200; ++round) {
+    netsim::WorkerPool pool(4);
+    if (round % 2 == 1) {
+      std::vector<int> hits(13, 0);
+      pool.run(hits.size(), [&hits](std::size_t j) { hits[j] += 1; });
+      for (const int h : hits) ASSERT_EQ(h, 1);
+    }
+    // Half the rounds destroy a pool whose lanes never saw a
+    // generation; the other half one that completed a barrier. Both
+    // must join all lanes here.
+  }
+}
+
 // ---- RNG stream splitting ----
 
 TEST(SeedStream, StableDistinctAndRootSensitive) {

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Every public header must be self-contained: compilable as the first
+# and only include of a TU. Non-self-contained headers work by accident
+# of include order and break the first time someone includes them alone
+# (exactly what tests/negcompile/ and external tools do).
+#
+# Usage: tools/check_headers.sh [c++]
+#   CXX env var or $1 selects the compiler.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cxx=${1:-${CXX:-c++}}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
+
+status=0
+count=0
+for header in "$repo_root"/src/*/*.hpp; do
+  rel=${header#"$repo_root"/src/}
+  tu="$tmpdir/tu.cc"
+  printf '#include "%s"\n' "$rel" >"$tu"
+  if ! out=$("$cxx" -std=c++20 -fsyntax-only -Wall -Wextra \
+             "-I$repo_root/src" "$tu" 2>&1); then
+    echo "not self-contained: src/$rel" >&2
+    echo "$out" >&2
+    status=1
+  fi
+  count=$((count + 1))
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_headers.sh: $count headers self-contained"
+fi
+exit "$status"

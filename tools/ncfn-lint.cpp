@@ -42,10 +42,24 @@
 //                        PacketBatch instead of recurring per packet
 //   raw-thread           no std::thread / std::async / bare mutexes or
 //                        condition variables outside the worker pool
-//                        (src/netsim/worker.*) and the sweep driver
+//                        (src/netsim/worker.*), the annotated wrappers
+//                        (src/common/sync.hpp) and the sweep driver
 //                        (tools/ncfn-sweep.cpp) — ad-hoc concurrency
 //                        cannot honour the barrier-window determinism
 //                        contract; shard work through netsim::WorkerPool
+//   mutex-unannotated    every mutex member must guard something: a
+//                        file declaring a mutex must annotate at least
+//                        one field NCFN_GUARDED_BY(that mutex), or the
+//                        `analyze` preset has nothing to check
+//   cv-wait-no-predicate condition-variable waits must sit in a
+//                        predicate loop (`while (!ready) cv.wait(mu);`)
+//                        — a naked wait misses spurious wakeups and
+//                        races the notify
+//   detached-thread      no .detach() — a detached thread outlives its
+//                        captures and cannot be joined at the barrier
+//   ref-capture-thread   no default [&] capture handed to a thread or
+//                        pool entry point — cross-thread lambdas must
+//                        name their captures so sharing is explicit
 //
 // Escape hatch: a line carrying the comment
 //     // ncfn-lint: allow(<rule>[,<rule>...]) — <justification>
@@ -59,7 +73,11 @@
 // Self-test mode (`ncfn-lint --self-test <fixture-dir>`) checks the
 // known-bad / allow-annotated fixture pairs under tests/lint_fixtures:
 // a file named <rule>_bad.cc must produce at least one finding of
-// exactly that rule, and <rule>_allowed.cc must produce none.
+// exactly that rule, and <rule>_allowed.cc must produce none. It also
+// cross-checks the rule table against the fixture dir both ways — a
+// rule without its fixture pair fails, as does a fixture naming no
+// rule — so the table and the fixtures cannot drift apart.
+// `ncfn-lint --list-rules` prints the live table (id, scope, message).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -119,6 +137,19 @@ constexpr Rule kRules[] = {
      "raw threading primitive outside the worker pool; shard work through "
      "netsim::WorkerPool (src/netsim/worker.hpp) so the barrier-window "
      "determinism contract holds"},
+    {"mutex-unannotated", Scope::kEverywhere,
+     "mutex member with no NCFN_GUARDED_BY field naming it; annotate what "
+     "the mutex guards (src/common/thread_annotations.hpp) or the analyze "
+     "preset has nothing to check"},
+    {"cv-wait-no-predicate", Scope::kEverywhere,
+     "condition-variable wait outside a predicate loop; spurious wakeups "
+     "require `while (!ready) cv.wait(mu);`"},
+    {"detached-thread", Scope::kEverywhere,
+     "detached thread; a detached lane outlives its captures and cannot "
+     "be joined at the barrier — keep the handle and join"},
+    {"ref-capture-thread", Scope::kEverywhere,
+     "default [&] capture handed to a thread/pool entry point; name the "
+     "captures so cross-thread lifetime and sharing stay explicit"},
 };
 
 // Files exempt from a rule by design (normalized path suffix match).
@@ -138,9 +169,11 @@ constexpr FileException kFileExceptions[] = {
     // conversion family by site, not by spelling).
     {"throwing-numparse", "src/coding/strparse.hpp"},
     // The worker pool is the one sanctioned home of raw threading; the
-    // sweep driver owns process-level fan-out on top of it.
+    // annotated wrappers re-export the primitives with capabilities
+    // attached, and the sweep driver owns process-level fan-out on top.
     {"raw-thread", "src/netsim/worker.hpp"},
     {"raw-thread", "src/netsim/worker.cpp"},
+    {"raw-thread", "src/common/sync.hpp"},
     {"raw-thread", "tools/ncfn-sweep.cpp"},
 };
 
@@ -163,6 +196,7 @@ struct SourceLine {
   std::string code;                 // literals/comments blanked
   std::set<std::string> allowed;    // rules allowed on this line
   bool allow_only = false;          // line is nothing but an allow comment
+  int depth = 0;                    // brace depth at start of line
 };
 
 void parse_allow(const std::string& comment, std::set<std::string>* out) {
@@ -184,6 +218,7 @@ std::vector<SourceLine> preprocess(const std::string& text) {
   std::vector<SourceLine> lines(1);
   enum { kCode, kBlock, kString, kChar } state = kCode;
   std::string comment;  // current line's comment text
+  int depth = 0;        // running brace depth (code braces only)
 
   auto end_line = [&] {
     SourceLine& ln = lines.back();
@@ -194,6 +229,7 @@ std::vector<SourceLine> preprocess(const std::string& text) {
     }
     comment.clear();
     lines.emplace_back();
+    lines.back().depth = depth;
   };
 
   for (std::size_t i = 0; i < text.size(); ++i) {
@@ -222,6 +258,11 @@ std::vector<SourceLine> preprocess(const std::string& text) {
           state = kChar;
           lines.back().code += ' ';
         } else {
+          if (c == '{') {
+            ++depth;
+          } else if (c == '}' && depth > 0) {
+            --depth;
+          }
           lines.back().code += c;
         }
         break;
@@ -327,6 +368,64 @@ bool matches_raw_thread(const std::string& code) {
       "semaphore|barrier|latch|future)>"
       "|(^|[^_\\w])pthread_\\w+");
   return std::regex_search(code, re);
+}
+
+/// A mutex member declaration whose name is never the argument of a
+/// *GUARDED_BY in the file: the mutex guards nothing the analysis can
+/// see. Matches both the raw std spellings and the annotated
+/// common::Mutex wrapper (a wrapper still needs guarded fields).
+bool matches_mutex_unannotated(const std::string& code,
+                               const std::string& text) {
+  static const std::regex decl(
+      "(^|[^_\\w])(std::(recursive_|timed_|shared_)?mutex|Mutex)"
+      "\\s+(\\w+)\\s*[;{=]");
+  for (std::sregex_iterator it(code.begin(), code.end(), decl), end;
+       it != end; ++it) {
+    const std::string name = (*it)[4].str();
+    if (text.find("GUARDED_BY(" + name + ")") == std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Single-argument cv.wait(mu) — the bare-wait overload — outside a
+/// predicate loop. The wait is exempt when its own line contains
+/// `while`, or when the nearest preceding code line at enclosing-or-
+/// equal brace depth does (the `while (!ready)\n  cv.wait(mu);` and
+/// `while (!ready) { cv.wait(mu); }` shapes). The two-argument
+/// predicate overload never matches: its parens contain a comma.
+bool matches_cv_wait_no_predicate(const std::vector<SourceLine>& lines,
+                                  std::size_t i) {
+  static const std::regex bare_wait("(\\.|->)\\s*wait\\s*\\([^(),]*\\)");
+  if (!std::regex_search(lines[i].code, bare_wait)) return false;
+  static const std::regex while_re("(^|[^_\\w])while\\s*\\(");
+  if (std::regex_search(lines[i].code, while_re)) return false;
+  for (std::size_t j = i; j-- > 0;) {
+    const SourceLine& ln = lines[j];
+    if (ln.code.find_first_not_of(" \t") == std::string::npos) continue;
+    if (ln.depth > lines[i].depth) break;  // sibling block, not enclosing
+    return !std::regex_search(ln.code, while_re);
+  }
+  return true;
+}
+
+bool matches_detached_thread(const std::string& code) {
+  static const std::regex re("(\\.|->)\\s*detach\\s*\\(");
+  return std::regex_search(code, re);
+}
+
+bool matches_ref_capture_thread(const std::string& code) {
+  // A default by-reference capture on the same line as a thread/pool
+  // entry point. Named captures ([&cells, &matrix]) do not match; [&]
+  // on a plain same-thread lambda (std::find_if etc.) has no entry-
+  // point keyword beside it and does not match either.
+  static const std::regex capture("\\[\\s*&\\s*\\]");
+  if (!std::regex_search(code, capture)) return false;
+  static const std::regex entry(
+      "(^|[^_\\w])(run|submit|enqueue|post|dispatch|async|thread|jthread)"
+      "\\s*[(<]");
+  return std::regex_search(code, entry);
 }
 
 bool matches_throwing_numparse(const std::string& code) {
@@ -475,6 +574,14 @@ std::vector<Finding> lint_file(const fs::path& file, bool ignore_scopes) {
         hit = matches_per_packet_kernel(ln.code);
       } else if (id == "raw-thread") {
         hit = matches_raw_thread(ln.code);
+      } else if (id == "mutex-unannotated") {
+        hit = matches_mutex_unannotated(ln.code, text);
+      } else if (id == "cv-wait-no-predicate") {
+        hit = matches_cv_wait_no_predicate(lines, i);
+      } else if (id == "detached-thread") {
+        hit = matches_detached_thread(ln.code);
+      } else if (id == "ref-capture-thread") {
+        hit = matches_ref_capture_thread(ln.code);
       }
       if (hit && !allowed(rule.id)) {
         findings.push_back({path, i + 1, rule.id, rule.message});
@@ -531,9 +638,39 @@ int run_lint(const std::vector<std::string>& roots) {
   return 0;
 }
 
+const char* scope_name(Scope s) {
+  switch (s) {
+    case Scope::kEverywhere:
+      return "everywhere";
+    case Scope::kObsEmitters:
+      return "obs-emitters";
+    case Scope::kHotPath:
+      return "hot-path";
+    case Scope::kVnfHotPath:
+      return "vnf-hot-path";
+  }
+  return "?";
+}
+
+int run_list_rules() {
+  for (const Rule& rule : kRules) {
+    std::printf("%-22s %-12s %s\n", rule.id, scope_name(rule.scope),
+                rule.message);
+  }
+  return 0;
+}
+
 int run_self_test(const std::string& fixture_dir) {
   std::size_t checked = 0;
   std::size_t failures = 0;
+  // Drift check, both directions: every rule in the table must ship its
+  // <rule>_bad.cc / <rule>_allowed.cc pair, and every fixture must name
+  // a live rule. Adding a rule without fixtures — or renaming one and
+  // orphaning its fixtures — fails the self-test, not just CI review.
+  std::set<std::string> rule_ids;
+  for (const Rule& rule : kRules) rule_ids.insert(rule.id);
+  std::set<std::string> have_bad;
+  std::set<std::string> have_allowed;
   for (const fs::path& file : collect({fixture_dir})) {
     const std::string stem = file.stem().string();
     const bool expect_bad = ends_with(stem, "_bad");
@@ -541,6 +678,14 @@ int run_self_test(const std::string& fixture_dir) {
     if (!expect_bad && !expect_allowed) continue;
     const std::string rule =
         stem.substr(0, stem.rfind('_'));  // "<rule>_bad" -> "<rule>"
+    if (rule_ids.count(rule) == 0) {
+      std::printf("FAIL %s: fixture names no rule in the table "
+                  "(see --list-rules)\n",
+                  normalized(file).c_str());
+      ++failures;
+      continue;
+    }
+    (expect_bad ? have_bad : have_allowed).insert(rule);
     const auto findings = lint_file(file, /*ignore_scopes=*/true);
     ++checked;
 
@@ -577,6 +722,18 @@ int run_self_test(const std::string& fixture_dir) {
                  fixture_dir.c_str());
     return 2;
   }
+  for (const std::string& rule : rule_ids) {
+    if (have_bad.count(rule) == 0) {
+      std::printf("FAIL rule [%s]: missing fixture %s_bad.cc\n", rule.c_str(),
+                  rule.c_str());
+      ++failures;
+    }
+    if (have_allowed.count(rule) == 0) {
+      std::printf("FAIL rule [%s]: missing fixture %s_allowed.cc\n",
+                  rule.c_str(), rule.c_str());
+      ++failures;
+    }
+  }
   std::printf("ncfn-lint self-test: %zu fixture(s), %zu failure(s)\n",
               checked, failures);
   return failures == 0 ? 0 : 1;
@@ -589,8 +746,12 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "usage: ncfn-lint <dir|file>...\n"
-                 "       ncfn-lint --self-test <fixture-dir>\n");
+                 "       ncfn-lint --self-test <fixture-dir>\n"
+                 "       ncfn-lint --list-rules\n");
     return 2;
+  }
+  if (args[0] == "--list-rules") {
+    return run_list_rules();
   }
   if (args[0] == "--self-test") {
     if (args.size() != 2) {
